@@ -1,0 +1,62 @@
+// Command lightwsp-bench runs the paper's evaluation experiments and prints
+// each reproduced table or figure. With no arguments it runs everything;
+// otherwise arguments name the experiments to run (fig7 fig8 fig9 fig10
+// fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 tab2 regions hwcost
+// recovery).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lightwsp/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	all := len(want) == 0
+	r := experiments.NewRunner()
+	if os.Getenv("BENCH_VERBOSE") != "" {
+		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	type exp struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	exps := []exp{
+		{"fig7", func() (fmt.Stringer, error) { return experiments.Fig7(r) }},
+		{"fig8", func() (fmt.Stringer, error) { return experiments.Fig8(r) }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9(r) }},
+		{"fig10", func() (fmt.Stringer, error) { return experiments.Fig10(r) }},
+		{"fig11", func() (fmt.Stringer, error) { return experiments.Fig11(r) }},
+		{"fig12", func() (fmt.Stringer, error) { return experiments.Fig12(r) }},
+		{"fig13", func() (fmt.Stringer, error) { return experiments.Fig13(r) }},
+		{"fig14", func() (fmt.Stringer, error) { return experiments.Fig14(r) }},
+		{"fig15", func() (fmt.Stringer, error) { return experiments.Fig15(r) }},
+		{"fig16", func() (fmt.Stringer, error) { return experiments.Fig16(r) }},
+		{"fig17", func() (fmt.Stringer, error) { return experiments.Fig17(r) }},
+		{"fig18", func() (fmt.Stringer, error) { return experiments.Fig18(r) }},
+		{"tab2", func() (fmt.Stringer, error) { return experiments.Table2(r) }},
+		{"regions", func() (fmt.Stringer, error) { return experiments.RegionStats(r) }},
+		{"hwcost", func() (fmt.Stringer, error) { return experiments.HWCost(8, 2), nil }},
+		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoverySweep(10) }},
+		{"ablation-lrpo", func() (fmt.Stringer, error) { return experiments.AblationLRPO(r) }},
+		{"ablation-compiler", func() (fmt.Stringer, error) { return experiments.AblationCompiler(r) }},
+	}
+	for _, e := range exps {
+		if !all && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+	}
+}

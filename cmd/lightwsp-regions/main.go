@@ -1,0 +1,106 @@
+// Command lightwsp-regions dumps the LightWSP compiler's work for a
+// workload: the region-instrumented assembly (boundaries, checkpoint
+// stores) and the partitioning statistics, optionally across several store
+// thresholds — the compiler-side view behind Figures 11 and 12.
+//
+// Usage:
+//
+//	lightwsp-regions [-suite CPU2006] [-app hmmer] [-thresholds 16,32,64] [-disasm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"lightwsp"
+	"lightwsp/internal/stats"
+	"lightwsp/internal/workload"
+)
+
+func main() {
+	suite := flag.String("suite", "CPU2006", "benchmark suite")
+	app := flag.String("app", "hmmer", "application name")
+	thresholds := flag.String("thresholds", "16,32,64", "store thresholds to compare")
+	disasm := flag.Bool("disasm", false, "print the instrumented assembly (default threshold)")
+	flag.Parse()
+
+	if err := run(*suite, *app, *thresholds, *disasm); err != nil {
+		fmt.Fprintln(os.Stderr, "lightwsp-regions:", err)
+		os.Exit(1)
+	}
+}
+
+func run(suite, app, thresholds string, disasm bool) error {
+	p, ok := workload.ByName(workload.Suite(suite), app)
+	if !ok {
+		return fmt.Errorf("unknown workload %s/%s", suite, app)
+	}
+	prog, err := workload.Build(p)
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Region partitioning of %s/%s (%d source instructions)", suite, app, prog.NumInstrs()),
+		Columns: []string{"threshold", "boundaries", "checkpoints", "pruned", "combined", "unrolled", "instrs", "max region stores"},
+	}
+	for _, f := range strings.Split(thresholds, ",") {
+		th, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad threshold %q", f)
+		}
+		res, err := lightwsp.Compile(prog, lightwsp.CompilerConfig{StoreThreshold: th, MaxUnroll: 4})
+		if err != nil {
+			return err
+		}
+		s := res.Stats
+		t.Add(th, s.Boundaries, s.Checkpoints, s.PrunedCheckpoints, s.CombinedBoundaries,
+			s.UnrolledLoops, s.FinalInstrs, s.MaxRegionStores)
+	}
+	fmt.Print(t.String())
+
+	// Region-end breakdown at the default threshold.
+	res, err := lightwsp.Compile(prog, lightwsp.CompilerConfig{})
+	if err != nil {
+		return err
+	}
+	kinds := map[string]int{}
+	maxStores, maxCkpts := 0, 0
+	ends := res.RegionEnds()
+	for _, e := range ends {
+		switch e.Kind {
+		case -1:
+			kinds["sync (implicit)"]++
+		case 0:
+			kinds["required (entry/exit/call)"]++
+		case 1:
+			kinds["loop header"]++
+		default:
+			kinds["threshold split"]++
+		}
+		if e.MaxStores > maxStores {
+			maxStores = e.MaxStores
+		}
+		if e.Checkpoints > maxCkpts {
+			maxCkpts = e.Checkpoints
+		}
+	}
+	t2 := &stats.Table{
+		Title:   fmt.Sprintf("\nRegion ends at the default threshold (%d total)", len(ends)),
+		Columns: []string{"kind", "count"},
+	}
+	for _, k := range []string{"required (entry/exit/call)", "loop header", "threshold split", "sync (implicit)"} {
+		t2.Add(k, kinds[k])
+	}
+	t2.Add("max stores in a region", maxStores)
+	t2.Add("max checkpoint run", maxCkpts)
+	fmt.Print(t2.String())
+
+	if disasm {
+		fmt.Println()
+		fmt.Print(res.Prog.Disasm())
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package lightwsp_test
+
+import (
+	"fmt"
+
+	"lightwsp"
+)
+
+// Example demonstrates the package's core promise: run ordinary code, cut
+// the power anywhere, recover, and the persisted data is exactly what a
+// failure-free run produces.
+func Example() {
+	b := lightwsp.NewProgramBuilder("example")
+	b.Func("main")
+	b.MovImm(1, 0x1000) // pointer
+	b.MovImm(2, 0)      // i
+	b.MovImm(3, 10)     // limit
+	loop := b.NewBlock()
+	b.Store(1, 0, 2)
+	b.AddImm(1, 1, 8)
+	b.AddImm(2, 2, 1)
+	b.CmpLT(4, 2, 3)
+	b.Branch(4, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	clean, err := rt.RunToCompletion(1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	res, err := rt.RunWithFailure(clean.Stats.Cycles/2, 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	if err := lightwsp.VerifyEquivalence(res.Recovered.PM(), clean.PM()); err != nil {
+		panic(err)
+	}
+	fmt.Println("failed:", res.Failed)
+	fmt.Println("last word:", res.Recovered.PM().Read(0x1000+9*8))
+	// Output:
+	// failed: true
+	// last word: 9
+}

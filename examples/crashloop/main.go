@@ -1,0 +1,69 @@
+// crashloop tortures the recovery protocol: power fails every few hundred
+// cycles — including during recoveries of earlier failures — until the
+// program manages to finish. Because every recovery point is just a region
+// boundary (§III-E), nested failures need no special handling, and the
+// final persisted data still matches a failure-free run exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lightwsp"
+)
+
+func buildProgram() (*lightwsp.Program, error) {
+	b := lightwsp.NewProgramBuilder("crashloop")
+	b.Func("main")
+	b.MovImm(1, 0x8000) // output pointer
+	b.MovImm(2, 1)      // fib a
+	b.MovImm(3, 1)      // fib b
+	b.MovImm(4, 0)      // i
+	b.MovImm(5, 300)    // iterations
+	loop := b.NewBlock()
+	b.Add(6, 2, 3)
+	b.Mov(2, 3)
+	b.Mov(3, 6)
+	b.Store(1, 0, 6)
+	b.AddImm(1, 1, 8)
+	b.AddImm(4, 4, 1)
+	b.CmpLT(7, 4, 5)
+	b.Branch(7, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	return b.Build()
+}
+
+func main() {
+	prog, err := buildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	clean, err := rt.RunToCompletion(5_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure-free run: %d cycles\n", clean.Stats.Cycles)
+
+	for _, interval := range []uint64{
+		clean.Stats.Cycles / 3,
+		clean.Stats.Cycles / 8,
+		clean.Stats.Cycles / 20,
+	} {
+		res, err := rt.RunWithRepeatedFailures(interval, 50_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := lightwsp.VerifyEquivalence(res.Recovered.PM(), clean.PM()); err != nil {
+			log.Fatalf("interval %d: %v", interval, err)
+		}
+		fmt.Printf("power failed every %5d cycles: survived %2d failures, result exact ✓\n",
+			interval, res.Rollbacks)
+	}
+}

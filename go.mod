@@ -1,0 +1,3 @@
+module lightwsp
+
+go 1.22

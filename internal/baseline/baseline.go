@@ -1,0 +1,110 @@
+// Package baseline provides the comparison persistence schemes of the
+// paper's evaluation, re-implemented from their published mechanisms as
+// machine.Scheme parameterizations: Capri [53], PPA [108], cWSP [110], an
+// idealized partial-system-persistence scheme (BBB-like [6], Figure 9), the
+// naive sfence-per-region variant LRPO is motivated against (§III-B), and
+// the non-persistent baseline (Optane memory mode) all results are
+// normalized to.
+package baseline
+
+import "lightwsp/internal/machine"
+
+// Baseline is Intel Optane PMem's memory mode with the original binary:
+// DRAM cache enabled, no persistence, no crash consistency (§V-A).
+func Baseline() machine.Scheme {
+	return machine.Scheme{
+		Name:         "baseline",
+		UseDRAMCache: true,
+	}
+}
+
+// PSPIdeal is an idealized partial-system-persistence scheme modeled on
+// BBB [6] / eADR: battery-backed buffers make persistence itself free (no
+// persist barriers, no logging), but PSP cannot use DRAM as a last-level
+// cache (§I) — every LLC miss pays the full PM latency. Figure 9.
+func PSPIdeal() machine.Scheme {
+	return machine.Scheme{
+		Name:         "psp-ideal",
+		UseDRAMCache: false,
+	}
+}
+
+// Capri persists through a separate 64-byte-granular path from L1 to PM
+// (every 8-byte store ships a full cacheline: 8× write amplification), and
+// with multiple memory controllers must stop the path at each region end
+// until the previous region is fully flushed (§II-C2, §V-B). It runs the
+// region-instrumented binary: Capri's compiler also forms regions and
+// checkpoints their live-outs.
+func Capri() machine.Scheme {
+	return machine.Scheme{
+		Name:            "capri",
+		Instrumented:    true,
+		UsePersistPath:  true,
+		EntryBytes:      64,
+		StallAtBoundary: true,
+		UseDRAMCache:    true,
+	}
+}
+
+// PPAStoresPerRegion approximates PPA's implicit region length: a region
+// ends when the physical register file can no longer enforce store
+// integrity (§II-C2), which under register pressure yields regions much
+// shorter than LightWSP's compiler-formed ones — the effect the paper's
+// Figure 8 efficiency gap comes from.
+const PPAStoresPerRegion = 16
+
+// PPA runs the original binary (regions are hardware-delineated), writes
+// stores back eagerly as they reach L1 — so persistence overlaps in-region
+// execution — but must stall at every implicit region boundary until all
+// pending stores persist (§II-C2). Near-zero instruction overhead, boundary
+// stalls instead.
+func PPA() machine.Scheme {
+	return machine.Scheme{
+		Name:           "ppa",
+		UsePersistPath: true,
+		EntryBytes:     8,
+		HWRegionStores: PPAStoresPerRegion,
+		UseDRAMCache:   true,
+	}
+}
+
+// CWSPUndoDelay is the extra PM-write cycles cWSP's in-line undo logging
+// costs after mitigation: each persist must copy the original data before
+// the write (§II-C2).
+const CWSPUndoDelay = 2
+
+// CWSP forms idempotent regions (no register checkpoints — boundaries
+// shrink to a single PC store and CkptStores are stripped at load time) and
+// never orders persists: memory-controller speculation flushes eagerly,
+// paying an undo-logging delay on every PM write instead (§II-C2, §V-E).
+func CWSP() machine.Scheme {
+	return machine.Scheme{
+		Name:             "cwsp",
+		Instrumented:     true,
+		StripCheckpoints: true,
+		UsePersistPath:   true,
+		EntryBytes:       8,
+		PMWriteExtra:     CWSPUndoDelay,
+		UseDRAMCache:     true,
+	}
+}
+
+// NaiveSfence is LightWSP without LRPO: an sfence at every region boundary
+// stalls the core until the region's stores persist (the strawman of
+// §III-B). Used by the LRPO ablation.
+func NaiveSfence() machine.Scheme {
+	return machine.Scheme{
+		Name:            "naive-sfence",
+		Instrumented:    true,
+		UsePersistPath:  true,
+		EntryBytes:      8,
+		StallAtBoundary: true,
+		UseDRAMCache:    true,
+	}
+}
+
+// All returns every comparison scheme. LightWSP itself lives in
+// internal/core; callers add core.Scheme() alongside these.
+func All() []machine.Scheme {
+	return []machine.Scheme{Baseline(), PSPIdeal(), Capri(), PPA(), CWSP(), NaiveSfence()}
+}

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"testing"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/isa"
+	"lightwsp/internal/machine"
+)
+
+// storeHeavy builds a single-threaded store loop — the workload that
+// separates the schemes most sharply.
+func storeHeavy(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("sh")
+	b.Func("main")
+	b.MovImm(1, 0x10000)
+	b.MovImm(2, 0)
+	b.MovImm(3, 400)
+	loop := b.NewBlock()
+	b.Store(1, 0, 2)
+	b.AddImm(1, 1, 8)
+	b.AddImm(2, 2, 1)
+	// a little compute between stores
+	b.AddImm(4, 4, 3)
+	b.Xor(5, 5, 4)
+	b.CmpLT(6, 2, 3)
+	b.Branch(6, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runScheme(t *testing.T, prog *isa.Program, sch machine.Scheme) *machine.Stats {
+	t.Helper()
+	if sch.Instrumented {
+		res, err := compiler.Compile(prog, compiler.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog = res.Prog
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Threads = 1
+	sys, err := machine.NewSystem(prog, cfg, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(100_000_000) {
+		t.Fatalf("%s did not complete", sch.Name)
+	}
+	return &sys.Stats
+}
+
+func TestAllSchemesHaveDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if s.Name == "" || seen[s.Name] {
+			t.Errorf("scheme name %q empty or duplicated", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if len(All()) != 6 {
+		t.Fatalf("schemes = %d, want 6", len(All()))
+	}
+}
+
+func TestCapriAmplifiesTraffic(t *testing.T) {
+	prog := storeHeavy(t)
+	capri := runScheme(t, prog, Capri())
+	// Capri's path carries 64 B per store at the same bandwidth: it must
+	// be much slower than PPA's 8 B path on a store-heavy loop.
+	ppa := runScheme(t, prog, PPA())
+	if capri.Cycles <= ppa.Cycles {
+		t.Fatalf("capri (%d cycles) not slower than ppa (%d)", capri.Cycles, ppa.Cycles)
+	}
+	if capri.StallDrain == 0 {
+		t.Fatal("capri recorded no boundary-drain stalls")
+	}
+}
+
+func TestPPAStallsAtHardwareBoundaries(t *testing.T) {
+	st := runScheme(t, storeHeavy(t), PPA())
+	if st.StallDrain == 0 {
+		t.Fatal("PPA recorded no region-boundary stalls")
+	}
+	// 400 stores at one region per PPAStoresPerRegion.
+	wantRegions := uint64(400 / PPAStoresPerRegion)
+	if st.RegionsClosed < wantRegions {
+		t.Fatalf("hardware regions = %d, want >= %d", st.RegionsClosed, wantRegions)
+	}
+	if st.Boundaries != 0 || st.Checkpoints != 0 {
+		t.Fatal("PPA must run the uninstrumented binary")
+	}
+}
+
+func TestCWSPStripsCheckpoints(t *testing.T) {
+	st := runScheme(t, storeHeavy(t), CWSP())
+	if st.Checkpoints != 0 {
+		t.Fatalf("cWSP executed %d checkpoint stores", st.Checkpoints)
+	}
+	if st.Boundaries == 0 {
+		t.Fatal("cWSP must keep region boundaries (idempotent regions)")
+	}
+	// No ordering stalls: speculation never waits.
+	if st.StallDrain != 0 {
+		t.Fatalf("cWSP stalled %d cycles at boundaries", st.StallDrain)
+	}
+}
+
+func TestCWSPUndoDelaySlowsWrites(t *testing.T) {
+	prog := storeHeavy(t)
+	cwsp := runScheme(t, prog, CWSP())
+	noDelay := CWSP()
+	noDelay.PMWriteExtra = 0
+	fast := runScheme(t, prog, noDelay)
+	if cwsp.Cycles < fast.Cycles {
+		t.Fatalf("undo delay made cWSP faster: %d vs %d", cwsp.Cycles, fast.Cycles)
+	}
+}
+
+func TestPSPIdealHasNoPersistMachinery(t *testing.T) {
+	st := runScheme(t, storeHeavy(t), PSPIdeal())
+	if st.PersistEntries != 0 || st.StallFEBFull != 0 {
+		t.Fatal("ideal PSP must not touch the persist path")
+	}
+	if st.DRAMHits+st.DRAMMisses != 0 {
+		t.Fatal("ideal PSP must not have a DRAM cache")
+	}
+}
+
+func TestBaselineIsFastest(t *testing.T) {
+	prog := storeHeavy(t)
+	base := runScheme(t, prog, Baseline())
+	for _, sch := range []machine.Scheme{Capri(), PPA(), CWSP(), NaiveSfence()} {
+		st := runScheme(t, prog, sch)
+		if st.Cycles < base.Cycles {
+			t.Errorf("%s (%d cycles) beat the baseline (%d)", sch.Name, st.Cycles, base.Cycles)
+		}
+	}
+}
+
+func TestNaiveSfenceSlowerThanGatedLightWSP(t *testing.T) {
+	prog := storeHeavy(t)
+	naive := runScheme(t, prog, NaiveSfence())
+	light := runScheme(t, prog, machine.Scheme{
+		Name: "lightwsp", Instrumented: true, UsePersistPath: true,
+		EntryBytes: 8, GatedWPQ: true, UseDRAMCache: true,
+	})
+	if naive.Cycles <= light.Cycles {
+		t.Fatalf("naive sfence (%d) not slower than LRPO (%d)", naive.Cycles, light.Cycles)
+	}
+}

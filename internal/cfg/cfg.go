@@ -1,0 +1,221 @@
+// Package cfg provides the control-flow analyses the LightWSP compiler is
+// built on: CFG construction, reverse postorder, dominators, natural-loop
+// detection and iterative live-variable analysis — the standard toolkit the
+// paper cites ([4], [5]) for its region partitioning and checkpoint
+// insertion passes.
+package cfg
+
+import (
+	"lightwsp/internal/isa"
+)
+
+// Graph is the control-flow graph of one function. Node i corresponds to
+// Function.Blocks[i]; edges follow block terminators.
+type Graph struct {
+	Fn   *isa.Function
+	Succ [][]int
+	Pred [][]int
+	// RPO is the blocks in reverse postorder from the entry; unreachable
+	// blocks are absent.
+	RPO []int
+	// RPONum maps block index to its position in RPO, or -1 if the block
+	// is unreachable.
+	RPONum []int
+}
+
+// New builds the CFG for fn.
+func New(fn *isa.Function) *Graph {
+	n := len(fn.Blocks)
+	g := &Graph{
+		Fn:     fn,
+		Succ:   make([][]int, n),
+		Pred:   make([][]int, n),
+		RPONum: make([]int, n),
+	}
+	for i, b := range fn.Blocks {
+		g.Succ[i] = b.Succs(nil)
+	}
+	for i, ss := range g.Succ {
+		for _, s := range ss {
+			g.Pred[s] = append(g.Pred[s], i)
+		}
+	}
+	// Postorder DFS from the entry block, then reverse.
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	var dfs func(int)
+	dfs = func(b int) {
+		seen[b] = true
+		for _, s := range g.Succ[b] {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(0)
+	g.RPO = make([]int, len(post))
+	for i := range post {
+		g.RPO[i] = post[len(post)-1-i]
+	}
+	for i := range g.RPONum {
+		g.RPONum[i] = -1
+	}
+	for i, b := range g.RPO {
+		g.RPONum[b] = i
+	}
+	return g
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.RPONum[b] >= 0 }
+
+// Dominators computes the immediate-dominator array using the classic
+// Cooper–Harvey–Kennedy iterative algorithm. idom[entry] == entry;
+// idom[b] == -1 for unreachable blocks.
+func (g *Graph) Dominators() []int {
+	n := len(g.Fn.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for g.RPONum[a] > g.RPONum[b] {
+				a = idom[a]
+			}
+			for g.RPONum[b] > g.RPONum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Pred[b] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether block a dominates block b given the idom array.
+func Dominates(idom []int, a, b int) bool {
+	if idom[b] == -1 {
+		return false
+	}
+	for {
+		if b == a {
+			return true
+		}
+		if b == idom[b] { // reached the entry
+			return a == b
+		}
+		b = idom[b]
+	}
+}
+
+// Loop describes one natural loop.
+type Loop struct {
+	Header int
+	// Latches are the blocks with back edges to the header.
+	Latches []int
+	// Body is the set of blocks in the loop, including the header,
+	// in ascending block order.
+	Body []int
+}
+
+// NaturalLoops finds all natural loops (back edges t→h where h dominates t)
+// and merges loops sharing a header. Loops are returned in ascending header
+// order.
+func (g *Graph) NaturalLoops() []*Loop {
+	idom := g.Dominators()
+	byHeader := map[int]*Loop{}
+	var headers []int
+	for _, t := range g.RPO {
+		for _, h := range g.Succ[t] {
+			if !Dominates(idom, h, t) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h}
+				byHeader[h] = l
+				headers = append(headers, h)
+			}
+			l.Latches = append(l.Latches, t)
+		}
+	}
+	// Compute each loop body: header plus all blocks that reach a latch
+	// without passing through the header.
+	for _, h := range headers {
+		l := byHeader[h]
+		in := map[int]bool{h: true}
+		var stack []int
+		for _, t := range l.Latches {
+			if !in[t] {
+				in[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Pred[b] {
+				if !in[p] && g.Reachable(p) {
+					in[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		for b := range in {
+			l.Body = append(l.Body, b)
+		}
+		sortInts(l.Body)
+		sortInts(l.Latches)
+	}
+	sortInts(headers)
+	loops := make([]*Loop, len(headers))
+	for i, h := range headers {
+		loops[i] = byHeader[h]
+	}
+	return loops
+}
+
+// Contains reports whether block b is in the loop body.
+func (l *Loop) Contains(b int) bool {
+	for _, x := range l.Body {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(s []int) {
+	// Insertion sort: loop bodies are small and this keeps the package
+	// dependency-free.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

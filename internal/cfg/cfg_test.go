@@ -1,0 +1,290 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lightwsp/internal/isa"
+)
+
+// diamond builds: b0 -> b1/b2 -> b3(halt)
+func diamond(t *testing.T) *isa.Function {
+	t.Helper()
+	b := isa.NewBuilder("t")
+	b.Func("f")
+	b.MovImm(1, 1)
+	b.Branch(1, 1, 2)
+	b.NewBlock() // b1
+	b.MovImm(2, 2)
+	b.Jump(3)
+	b.NewBlock() // b2
+	b.MovImm(2, 3)
+	b.Jump(3)
+	b.NewBlock() // b3
+	b.Store(2, 0, 1)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Funcs[0]
+}
+
+// loopFn builds: b0 -> b1(loop: body, branch b1/b2) -> b2(halt)
+func loopFn(t *testing.T) *isa.Function {
+	t.Helper()
+	b := isa.NewBuilder("t")
+	b.Func("f")
+	b.MovImm(1, 0)
+	b.MovImm(2, 80)
+	b.Jump(1)
+	b.NewBlock() // b1
+	b.Store(1, 0, 2)
+	b.AddImm(1, 1, 8)
+	b.CmpLT(3, 1, 2)
+	b.Branch(3, 1, 2)
+	b.NewBlock() // b2
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Funcs[0]
+}
+
+func TestCFGEdges(t *testing.T) {
+	g := New(diamond(t))
+	if len(g.Succ[0]) != 2 || g.Succ[0][0] != 1 || g.Succ[0][1] != 2 {
+		t.Errorf("succ(b0) = %v", g.Succ[0])
+	}
+	if len(g.Pred[3]) != 2 {
+		t.Errorf("pred(b3) = %v", g.Pred[3])
+	}
+	if len(g.RPO) != 4 || g.RPO[0] != 0 {
+		t.Errorf("RPO = %v", g.RPO)
+	}
+}
+
+func TestUnreachableBlock(t *testing.T) {
+	f := diamond(t)
+	// Append an unreachable block.
+	f.Blocks = append(f.Blocks, &isa.Block{Instrs: []isa.Instr{{Op: isa.Halt}}})
+	g := New(f)
+	if g.Reachable(4) {
+		t.Error("block 4 should be unreachable")
+	}
+	if len(g.RPO) != 4 {
+		t.Errorf("RPO should exclude unreachable block: %v", g.RPO)
+	}
+	idom := g.Dominators()
+	if idom[4] != -1 {
+		t.Errorf("idom of unreachable block = %d", idom[4])
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := New(diamond(t))
+	idom := g.Dominators()
+	want := []int{0, 0, 0, 0}
+	for b, w := range want {
+		if idom[b] != w {
+			t.Errorf("idom[%d] = %d, want %d", b, idom[b], w)
+		}
+	}
+	if !Dominates(idom, 0, 3) {
+		t.Error("entry must dominate exit")
+	}
+	if Dominates(idom, 1, 3) {
+		t.Error("b1 must not dominate b3")
+	}
+	if !Dominates(idom, 2, 2) {
+		t.Error("block must dominate itself")
+	}
+}
+
+func TestNaturalLoopDetection(t *testing.T) {
+	g := New(loopFn(t))
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = %d, want 1", l.Header)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != 1 {
+		t.Errorf("latches = %v", l.Latches)
+	}
+	if len(l.Body) != 1 || !l.Contains(1) || l.Contains(0) {
+		t.Errorf("body = %v", l.Body)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	// b0 -> b1(outer hdr) -> b2(inner hdr, latch to b2) -> b3(latch to b1) -> b4
+	b := isa.NewBuilder("t")
+	b.Func("f")
+	b.MovImm(1, 0)
+	b.Jump(1)
+	b.NewBlock() // b1 outer header
+	b.AddImm(1, 1, 1)
+	b.Jump(2)
+	b.NewBlock() // b2 inner header+latch
+	b.AddImm(2, 2, 1)
+	b.CmpLT(3, 2, 1)
+	b.Branch(3, 2, 3)
+	b.NewBlock() // b3 outer latch
+	b.CmpLT(3, 1, 2)
+	b.Branch(3, 1, 4)
+	b.NewBlock() // b4
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(p.Funcs[0])
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	outer, inner := loops[0], loops[1]
+	if outer.Header != 1 || inner.Header != 2 {
+		t.Fatalf("headers = %d,%d", outer.Header, inner.Header)
+	}
+	if !outer.Contains(2) || !outer.Contains(3) {
+		t.Errorf("outer body = %v", outer.Body)
+	}
+	if inner.Contains(1) || inner.Contains(3) {
+		t.Errorf("inner body = %v", inner.Body)
+	}
+}
+
+func TestRegSetOps(t *testing.T) {
+	var s RegSet
+	s = s.Add(3).Add(7).Add(3)
+	if !s.Has(3) || !s.Has(7) || s.Has(5) {
+		t.Errorf("set membership wrong: %b", s)
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d, want 2", s.Count())
+	}
+	s = s.Remove(3)
+	if s.Has(3) || s.Count() != 1 {
+		t.Errorf("Remove failed: %b", s)
+	}
+	regs := RegSet(0).Add(1).Add(31).Regs()
+	if len(regs) != 2 || regs[0] != 1 || regs[1] != 31 {
+		t.Errorf("Regs = %v", regs)
+	}
+}
+
+func TestRegSetProperties(t *testing.T) {
+	add := func(s uint32, r uint8) bool {
+		set := RegSet(s).Add(isa.Reg(r % isa.NumRegs))
+		return set.Has(isa.Reg(r % isa.NumRegs))
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Error(err)
+	}
+	unionCount := func(a, b uint32) bool {
+		u := RegSet(a).Union(RegSet(b))
+		return u.Count() <= RegSet(a).Count()+RegSet(b).Count() &&
+			u.Count() >= RegSet(a).Count() && u.Count() >= RegSet(b).Count()
+	}
+	if err := quick.Check(unionCount, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	// r2 defined in b0 and b?; used in b3 store. r1 used in b3 store addr.
+	f := diamond(t)
+	g := New(f)
+	lv := ComputeLiveness(g)
+	// At entry of b3, r1 (branch src defined in b0... r1=movi in b0) and r2 live.
+	if !lv.LiveIn[3].Has(1) || !lv.LiveIn[3].Has(2) {
+		t.Errorf("LiveIn[b3] = %v", lv.LiveIn[3].Regs())
+	}
+	// r2 is defined in both b1 and b2, so it is NOT live into b1/b2.
+	if lv.LiveIn[1].Has(2) || lv.LiveIn[2].Has(2) {
+		t.Errorf("r2 must not be live into b1/b2")
+	}
+	// r1 is live through b1 and b2 (defined b0, used b3).
+	if !lv.LiveIn[1].Has(1) || !lv.LiveOut[1].Has(1) {
+		t.Errorf("r1 must be live through b1")
+	}
+	// Nothing is live out of the exit block.
+	if lv.LiveOut[3] != 0 {
+		t.Errorf("LiveOut[exit] = %v", lv.LiveOut[3].Regs())
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	g := New(loopFn(t))
+	lv := ComputeLiveness(g)
+	// r1 and r2 are live around the loop (b1 -> b1).
+	if !lv.LiveIn[1].Has(1) || !lv.LiveIn[1].Has(2) {
+		t.Errorf("LiveIn[loop] = %v", lv.LiveIn[1].Regs())
+	}
+	if !lv.LiveOut[0].Has(1) || !lv.LiveOut[0].Has(2) {
+		t.Errorf("LiveOut[preheader] = %v", lv.LiveOut[0].Regs())
+	}
+	// r3 (the compare temp) is dead at loop entry.
+	if lv.LiveIn[1].Has(3) {
+		t.Error("r3 must be dead at loop entry")
+	}
+}
+
+func TestLiveBefore(t *testing.T) {
+	g := New(loopFn(t))
+	lv := ComputeLiveness(g)
+	// Before the CmpLT in b1 (index 2), r1 and r2 live; r3 not yet.
+	live := lv.LiveBefore(g, 1, 2)
+	if !live.Has(1) || !live.Has(2) || live.Has(3) {
+		t.Errorf("LiveBefore(b1,2) = %v", live.Regs())
+	}
+	// Before the Branch (index 3), r3 is live.
+	live = lv.LiveBefore(g, 1, 3)
+	if !live.Has(3) {
+		t.Errorf("LiveBefore(b1,3) = %v", live.Regs())
+	}
+	// LiveBefore at index 0 equals LiveIn.
+	if lv.LiveBefore(g, 1, 0) != lv.LiveIn[1] {
+		t.Error("LiveBefore(b,0) != LiveIn[b]")
+	}
+}
+
+func TestInstrEffect(t *testing.T) {
+	in := isa.Instr{Op: isa.Add, Rd: 1, Rs1: 2, Rs2: 3}
+	u, d := InstrEffect(&in)
+	if !u.Has(2) || !u.Has(3) || u.Has(1) {
+		t.Errorf("use = %v", u.Regs())
+	}
+	if !d.Has(1) || d.Count() != 1 {
+		t.Errorf("def = %v", d.Regs())
+	}
+}
+
+func TestRPOIsTopologicalOnAcyclicCFG(t *testing.T) {
+	g := New(diamond(t))
+	// In an acyclic CFG, every edge must go forward in RPO.
+	for _, b := range g.RPO {
+		for _, s := range g.Succ[b] {
+			if g.RPONum[s] <= g.RPONum[b] {
+				t.Fatalf("edge b%d->b%d goes backward in RPO", b, s)
+			}
+		}
+	}
+}
+
+func TestDominatorsIdempotent(t *testing.T) {
+	f := loopFn(t)
+	g := New(f)
+	a := g.Dominators()
+	b := g.Dominators()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Dominators not deterministic")
+		}
+	}
+}

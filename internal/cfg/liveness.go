@@ -1,0 +1,118 @@
+package cfg
+
+import (
+	"lightwsp/internal/isa"
+)
+
+// RegSet is a set of registers, one bit per architectural register.
+// isa.NumRegs is 32, so a uint32 covers the file.
+type RegSet uint32
+
+// Add returns s with r added.
+func (s RegSet) Add(r isa.Reg) RegSet { return s | 1<<uint(r) }
+
+// Remove returns s with r removed.
+func (s RegSet) Remove(r isa.Reg) RegSet { return s &^ (1 << uint(r)) }
+
+// Has reports whether r is in s.
+func (s RegSet) Has(r isa.Reg) bool { return s&(1<<uint(r)) != 0 }
+
+// Union returns s ∪ t.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Count returns the number of registers in s.
+func (s RegSet) Count() int {
+	n := 0
+	for x := uint32(s); x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Regs returns the members of s in ascending order.
+func (s RegSet) Regs() []isa.Reg {
+	var out []isa.Reg
+	for r := 0; r < isa.NumRegs; r++ {
+		if s.Has(isa.Reg(r)) {
+			out = append(out, isa.Reg(r))
+		}
+	}
+	return out
+}
+
+// Liveness holds the result of live-variable analysis for one function.
+type Liveness struct {
+	// LiveIn[b] is the set of registers live at the entry of block b.
+	LiveIn []RegSet
+	// LiveOut[b] is the set live at the exit of block b.
+	LiveOut []RegSet
+}
+
+// InstrEffect returns (use, def) register sets of a single instruction.
+func InstrEffect(in *isa.Instr) (use, def RegSet) {
+	var buf [8]isa.Reg
+	for _, r := range in.Uses(buf[:0]) {
+		use = use.Add(r)
+	}
+	if d, ok := in.Defs(); ok {
+		def = def.Add(d)
+	}
+	return use, def
+}
+
+// ComputeLiveness runs the standard backward iterative dataflow analysis:
+//
+//	LiveOut[b] = ∪ LiveIn[s] for s in succ(b)
+//	LiveIn[b]  = use[b] ∪ (LiveOut[b] − def[b])
+//
+// Ret uses its operand; the analysis is intraprocedural (the compiler puts
+// region boundaries at every call site, so checkpoints never need to be
+// reasoned about across function bodies).
+func ComputeLiveness(g *Graph) *Liveness {
+	n := len(g.Fn.Blocks)
+	lv := &Liveness{LiveIn: make([]RegSet, n), LiveOut: make([]RegSet, n)}
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	for b, blk := range g.Fn.Blocks {
+		// Backward scan composes per-instruction effects into
+		// block-level upward-exposed uses and defs.
+		var u, d RegSet
+		for i := len(blk.Instrs) - 1; i >= 0; i-- {
+			iu, id := InstrEffect(&blk.Instrs[i])
+			u = (u &^ id) | iu
+			d |= id
+		}
+		use[b], def[b] = u, d
+	}
+	// Iterate to a fixed point; visiting in reverse RPO converges fast.
+	for changed := true; changed; {
+		changed = false
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			b := g.RPO[i]
+			var out RegSet
+			for _, s := range g.Succ[b] {
+				out |= lv.LiveIn[s]
+			}
+			in := use[b] | (out &^ def[b])
+			if out != lv.LiveOut[b] || in != lv.LiveIn[b] {
+				lv.LiveOut[b] = out
+				lv.LiveIn[b] = in
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// LiveBefore returns the set of registers live immediately before
+// instruction index idx of block b, derived by walking backward from the
+// block's live-out set.
+func (lv *Liveness) LiveBefore(g *Graph, b, idx int) RegSet {
+	live := lv.LiveOut[b]
+	blk := g.Fn.Blocks[b]
+	for i := len(blk.Instrs) - 1; i >= idx; i-- {
+		u, d := InstrEffect(&blk.Instrs[i])
+		live = (live &^ d) | u
+	}
+	return live
+}

@@ -1,0 +1,248 @@
+package compiler
+
+import (
+	"fmt"
+
+	"lightwsp/internal/cfg"
+	"lightwsp/internal/isa"
+)
+
+// Boundary kinds, carried in the Boundary instruction's Imm field. Combining
+// may only remove splits the partitioner itself introduced; boundaries that
+// carry semantics (call sites, function entry/exit) or boundedness (loop
+// headers) are never removed.
+const (
+	// KindRequired marks entry/exit/call-site boundaries.
+	KindRequired int64 = 0
+	// KindLoop marks loop-header boundaries.
+	KindLoop int64 = 1
+	// KindSplit marks threshold-enforcement splits (combinable).
+	KindSplit int64 = 2
+)
+
+func boundary(kind int64) isa.Instr { return isa.Instr{Op: isa.Boundary, Imm: kind} }
+
+// insertInitialBoundaries performs the paper's first pass (§IV-A "Initial
+// Region Boundary Insertion"): boundaries at function entry and exit, around
+// every call site, and at the header of every loop whose body issues
+// persist-path stores. Synchronization instructions get no explicit
+// Boundary — the hardware treats them as implicit boundaries (§III-D) — but
+// the partitioner and checkpoint inserter account for them as region
+// delimiters.
+func (c *funcCompiler) insertInitialBoundaries() {
+	fn := c.fn()
+
+	// Loop headers first, while block indices are still the source ones.
+	g := cfg.New(fn)
+	for _, l := range g.NaturalLoops() {
+		stores := 0
+		for _, b := range l.Body {
+			for i := range fn.Blocks[b].Instrs {
+				stores += fn.Blocks[b].Instrs[i].PersistStoresIncludingSync()
+			}
+		}
+		if stores == 0 {
+			continue // §IV-A: "unless it has no stores"
+		}
+		hdr := fn.Blocks[l.Header]
+		hdr.Instrs = append([]isa.Instr{boundary(KindLoop)}, hdr.Instrs...)
+	}
+
+	// Entry, exit and call-site boundaries.
+	for bi, blk := range fn.Blocks {
+		out := make([]isa.Instr, 0, len(blk.Instrs)+4)
+		if bi == 0 {
+			out = append(out, boundary(KindRequired))
+		}
+		for _, in := range blk.Instrs {
+			switch in.Op {
+			case isa.Call:
+				out = append(out, boundary(KindRequired), in, boundary(KindRequired))
+			case isa.Ret, isa.Halt:
+				out = append(out, boundary(KindRequired), in)
+			default:
+				out = append(out, in)
+			}
+		}
+		blk.Instrs = out
+	}
+}
+
+// splitAtBoundaries normalizes the function so every Boundary instruction is
+// immediately followed by the block terminator: regions then always start at
+// the beginning of basic blocks, which is the form the paper's liveness pass
+// assumes. Splitting inserts a Jump to a fresh continuation block.
+func (c *funcCompiler) splitAtBoundaries() {
+	fn := c.fn()
+	for bi := 0; bi < len(fn.Blocks); bi++ { // new blocks are appended and revisited
+		blk := fn.Blocks[bi]
+		for i := 0; i < len(blk.Instrs); i++ {
+			if blk.Instrs[i].Op != isa.Boundary {
+				continue
+			}
+			if i == len(blk.Instrs)-2 && blk.Instrs[i+1].Op.IsTerminator() {
+				continue // already normalized
+			}
+			rest := make([]isa.Instr, len(blk.Instrs)-(i+1))
+			copy(rest, blk.Instrs[i+1:])
+			fn.Blocks = append(fn.Blocks, &isa.Block{Instrs: rest})
+			nb := len(fn.Blocks) - 1
+			blk.Instrs = append(blk.Instrs[:i+1], isa.Instr{Op: isa.Jump, Target: nb})
+			break // the remainder of this block moved; continue with next block
+		}
+	}
+}
+
+// stepCount advances the in-region store count across one instruction and
+// returns the count the closing region would see at this point (for the
+// threshold check). resetCount then yields the count carried forward.
+func stepCount(cnt int, in *isa.Instr) int {
+	if in.Op == isa.Boundary || in.Op.IsSync() {
+		return cnt + isa.BoundaryStores
+	}
+	return cnt + in.Op.PersistStores()
+}
+
+func resetCount(cnt int, in *isa.Instr) int {
+	switch {
+	case in.Op == isa.Boundary:
+		return 0
+	case in.Op.IsSync():
+		return in.Op.PersistStores() // the sync's own store opens the new region
+	}
+	return cnt
+}
+
+// plainStep advances the in-region count of non-checkpoint stores: the
+// accounting the threshold-enforcement pass uses. Checkpoint stores are
+// budgeted separately (see partitionFixpoint), so they carry weight zero.
+func plainStep(cnt int, in *isa.Instr) int {
+	switch {
+	case in.Op == isa.Boundary:
+		return 0
+	case in.Op.IsSync():
+		return in.Op.PersistStores()
+	case in.Op == isa.CkptStore:
+		return cnt
+	}
+	return cnt + in.Op.PersistStores()
+}
+
+// regionStoreCounts runs a forward max-dataflow that computes, for each
+// block, the largest in-region count with which the block can be entered,
+// under the given per-instruction step function. diverged is true if a
+// store-bearing cycle has no boundary, which would make a region's store
+// count unbounded.
+func regionStoreCounts(g *cfg.Graph, step func(int, *isa.Instr) int) (in []int, diverged bool) {
+	n := len(g.Fn.Blocks)
+	in = make([]int, n)
+	out := make([]int, n)
+	const cap = 1 << 14
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO {
+			best := 0
+			for _, p := range g.Pred[b] {
+				if out[p] > best {
+					best = out[p]
+				}
+			}
+			cnt := best
+			for i := range g.Fn.Blocks[b].Instrs {
+				cnt = step(cnt, &g.Fn.Blocks[b].Instrs[i])
+			}
+			if best != in[b] || cnt != out[b] {
+				in[b], out[b] = best, cnt
+				changed = true
+			}
+			if cnt > cap {
+				return in, true
+			}
+		}
+	}
+	return in, false
+}
+
+// enforceThreshold inserts KindSplit boundaries so that no region's count of
+// non-checkpoint stores exceeds budget, and returns how many it added. The
+// caller derives the budget as threshold − BoundaryStores − checkpoint
+// reserve, so that a region's full cost — plain stores plus its closing
+// boundary's checkpoint run plus the two boundary slot stores — stays within
+// the threshold. Checkpoint stores never trigger a split: splitting inside a
+// checkpoint run would just make the run migrate to the new boundary on the
+// next iteration and livelock the fixed point.
+func (c *funcCompiler) enforceThreshold(budget int) (added int, err error) {
+	fn := c.fn()
+	g := cfg.New(fn)
+	counts, diverged := regionStoreCounts(g, plainStep)
+	if diverged {
+		return 0, fmt.Errorf("store cycle without a region boundary")
+	}
+	for _, b := range g.RPO {
+		blk := fn.Blocks[b]
+		cnt := counts[b]
+		for i := 0; i < len(blk.Instrs); i++ {
+			in := &blk.Instrs[i]
+			if in.Op != isa.Boundary && !in.Op.IsSync() && in.Op != isa.CkptStore &&
+				cnt+in.Op.PersistStores() > budget {
+				blk.Instrs = insertAt(blk.Instrs, i, boundary(KindSplit))
+				added++
+				cnt = 0
+				i++
+				in = &blk.Instrs[i]
+			}
+			cnt = plainStep(cnt, in)
+		}
+	}
+	return added, nil
+}
+
+func insertAt(s []isa.Instr, i int, in isa.Instr) []isa.Instr {
+	s = append(s, isa.Instr{})
+	copy(s[i+1:], s[i:])
+	s[i] = in
+	return s
+}
+
+// combineRegions implements the paper's region-formation combining step: it
+// walks the CFG in topological order and removes KindSplit boundaries whose
+// removal keeps every region at or under the store threshold, enlarging
+// regions and (after checkpoint re-insertion) eliminating checkpoint stores
+// whose registers are redefined by the merged successor region.
+func (c *funcCompiler) combineRegions() (removed int) {
+	fn := c.fn()
+	// Candidates are examined in topological order; each successful removal
+	// can enable further ones, so iterate passes until none is removable.
+	// A pass without progress terminates the loop, and every removal
+	// strictly shrinks the boundary count, so this always terminates.
+	for {
+		g := cfg.New(fn)
+		progress := false
+		for _, b := range g.RPO {
+			blk := fn.Blocks[b]
+			for i := 0; i < len(blk.Instrs); i++ {
+				if blk.Instrs[i].Op != isa.Boundary || blk.Instrs[i].Imm != KindSplit {
+					continue
+				}
+				saved := blk.Instrs[i]
+				blk.Instrs = append(blk.Instrs[:i:i], blk.Instrs[i+1:]...)
+				if CheckRegionBound(onlyFunc(c.prog, c.fi), c.cfg.StoreThreshold, nil) == nil {
+					removed++
+					progress = true
+					i--
+					continue
+				}
+				blk.Instrs = insertAt(blk.Instrs, i, saved)
+			}
+		}
+		if !progress {
+			return removed
+		}
+	}
+}
+
+// onlyFunc wraps a single function of prog in a throwaway program so
+// CheckRegionBound can be reused for per-function checks.
+func onlyFunc(p *isa.Program, fi int) *isa.Program {
+	return &isa.Program{Name: p.Name, Funcs: []*isa.Function{p.Funcs[fi]}}
+}

@@ -1,0 +1,131 @@
+package compiler
+
+import (
+	"lightwsp/internal/cfg"
+	"lightwsp/internal/isa"
+)
+
+// clearCheckpoints removes every CkptStore so checkpoint insertion can be
+// re-run from scratch after the region partitioning changed.
+func (c *funcCompiler) clearCheckpoints() {
+	for _, blk := range c.fn().Blocks {
+		out := blk.Instrs[:0]
+		for _, in := range blk.Instrs {
+			if in.Op == isa.CkptStore {
+				continue
+			}
+			out = append(out, in)
+		}
+		blk.Instrs = out
+	}
+}
+
+// insertCheckpoints performs the paper's liveness-driven checkpoint
+// insertion (§IV-A "Checkpoint Store Insertion"): at every region end —
+// explicit Boundary instructions and implicit boundaries at synchronization
+// instructions — it checkpoints each register that is (a) live into the
+// following region and (b) possibly redefined since the previous region end
+// (registers not redefined still hold a valid slot from an earlier region's
+// checkpoint).
+//
+// The checkpoint stores are placed immediately before the region end, which
+// captures exactly the value the next region's recovery needs. (The paper
+// places them right after the register's last update point; the value
+// stored is identical, only the micro-timing differs.)
+func (c *funcCompiler) insertCheckpoints() {
+	fn := c.fn()
+	g := cfg.New(fn)
+	lv := cfg.ComputeLiveness(g)
+	mayIn := c.mayDefinedSinceBoundary(g)
+
+	for _, b := range g.RPO {
+		blk := fn.Blocks[b]
+		// First pass: record, per region-end index, the set to checkpoint.
+		type insertion struct {
+			idx  int
+			regs []isa.Reg
+		}
+		var ins []insertion
+		def := mayIn[b]
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			end := in.Op == isa.Boundary || in.Op.IsSync()
+			if end {
+				// Registers holding a global compile-time constant are
+				// never checkpointed: recovery reconstructs them from
+				// recipes (recordConstRecipes). This is the paper's
+				// checkpoint pruning at its most profitable, and it is
+				// what keeps high-register-pressure regions within the
+				// store threshold.
+				need := lv.LiveBefore(g, b, i) & def &^ c.constRegs
+				if regs := need.Regs(); len(regs) > 0 {
+					ins = append(ins, insertion{idx: i, regs: regs})
+				}
+				def = 0
+			}
+			if d, ok := in.Defs(); ok {
+				def = def.Add(d)
+			}
+		}
+		if len(ins) == 0 {
+			continue
+		}
+		// Second pass: rebuild the block with the checkpoints inserted.
+		out := make([]isa.Instr, 0, len(blk.Instrs)+len(ins)*2)
+		k := 0
+		for i := range blk.Instrs {
+			for k < len(ins) && ins[k].idx == i {
+				for _, r := range ins[k].regs {
+					out = append(out, isa.Instr{Op: isa.CkptStore, Rs1: r})
+				}
+				k++
+			}
+			out = append(out, blk.Instrs[i])
+		}
+		blk.Instrs = out
+	}
+}
+
+// mayDefinedSinceBoundary computes, per block, the set of registers that may
+// have been (re)defined since the most recent region end on some path into
+// the block. Region ends (boundaries and sync instructions) clear the set:
+// those registers were just checkpointed, so their slots are valid.
+func (c *funcCompiler) mayDefinedSinceBoundary(g *cfg.Graph) []cfg.RegSet {
+	fn := c.fn()
+	n := len(fn.Blocks)
+	in := make([]cfg.RegSet, n)
+	out := make([]cfg.RegSet, n)
+	transfer := func(b int) cfg.RegSet {
+		def := in[b]
+		for i := range fn.Blocks[b].Instrs {
+			inst := &fn.Blocks[b].Instrs[i]
+			if inst.Op == isa.Boundary || inst.Op.IsSync() {
+				def = 0
+			}
+			if d, ok := inst.Defs(); ok {
+				def = def.Add(d)
+			}
+		}
+		return def
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO {
+			var s cfg.RegSet
+			for _, p := range g.Pred[b] {
+				s |= out[p]
+			}
+			o := s
+			if o != in[b] {
+				in[b] = o
+				changed = true
+			}
+			no := transfer(b)
+			if no != out[b] {
+				out[b] = no
+				changed = true
+			}
+		}
+	}
+	return in
+}

@@ -1,0 +1,161 @@
+package compiler
+
+import (
+	"lightwsp/internal/cfg"
+	"lightwsp/internal/isa"
+)
+
+// Global-constant checkpoint pruning (the sound core of §IV-A's checkpoint
+// pruning): a register that provably holds one compile-time constant at
+// every possible resume point never needs a checkpoint slot — the recovery
+// runtime re-materializes it from a recipe. Because a pruned register's
+// slot is never valid, the recipe must be available at EVERY resume point
+// that could observe the register, including resume points inside callees
+// while the value is live in the caller. The qualification is therefore
+// program-scoped:
+//
+//   - exactly one definition in the entire program, a MovImm,
+//   - located in the program's entry function (the function every thread
+//     starts in),
+//   - the register is not read before that definition (not live into the
+//     entry function, and the definition's block dominates every entry-
+//     function block where the register is live),
+//   - the definition's block dominates every call site of the entry
+//     function (so any callee — and hence any callee resume point — runs
+//     strictly after the constant exists),
+//   - no other function defines the register.
+//
+// Recipes are then recorded at every region end of the entry function where
+// the register is live and dominated, and at every region end of every
+// other function unconditionally (any execution there postdates the
+// definition, and applying a recipe to a dead register is harmless).
+type progConsts struct {
+	value map[isa.Reg]int64
+	// defBlock is the defining block in the entry function.
+	defBlock map[isa.Reg]int
+}
+
+// findProgramConstants qualifies registers per the rules above, analyzing
+// the (boundary-instrumented, unrolled) program before checkpoint insertion.
+func findProgramConstants(p *isa.Program) *progConsts {
+	entry := p.Entry
+	defCount := map[isa.Reg]int{}
+	value := map[isa.Reg]int64{}
+	where := map[isa.Reg]int{}
+	otherFuncDef := map[isa.Reg]bool{}
+	for fi, f := range p.Funcs {
+		for bi, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if d, ok := in.Defs(); ok {
+					defCount[d]++
+					if fi != entry {
+						otherFuncDef[d] = true
+					}
+					if in.Op == isa.MovImm && fi == entry {
+						value[d] = in.Imm
+						where[d] = bi
+					} else {
+						delete(value, d)
+					}
+				}
+			}
+		}
+	}
+	ef := p.Funcs[entry]
+	g := cfg.New(ef)
+	lv := cfg.ComputeLiveness(g)
+	idom := g.Dominators()
+	out := &progConsts{value: map[isa.Reg]int64{}, defBlock: map[isa.Reg]int{}}
+	for r, v := range value {
+		if defCount[r] != 1 || otherFuncDef[r] || lv.LiveIn[0].Has(r) {
+			continue
+		}
+		ok := true
+		for _, b := range g.RPO {
+			if b == where[r] {
+				continue
+			}
+			if lv.LiveIn[b].Has(r) && !cfg.Dominates(idom, where[r], b) {
+				ok = false
+				break
+			}
+			// Every call site must postdate the definition.
+			hasCall := false
+			for i := range ef.Blocks[b].Instrs {
+				if ef.Blocks[b].Instrs[i].Op == isa.Call {
+					hasCall = true
+					break
+				}
+			}
+			if hasCall && !cfg.Dominates(idom, where[r], b) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out.value[r] = v
+		out.defBlock[r] = where[r]
+	}
+	return out
+}
+
+// mask returns the register set of the qualified constants.
+func (pc *progConsts) mask() cfg.RegSet {
+	var s cfg.RegSet
+	for r := range pc.value {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// recordConstRecipes runs after the whole program's layout is final and
+// writes one recipe per qualified register at every region end that could
+// serve as its resume point: entry-function ends where the register is live
+// past the definition, and every region end of every other function.
+func recordConstRecipes(res *Result, pc *progConsts) int {
+	if len(pc.value) == 0 {
+		return 0
+	}
+	p := res.Prog
+	recorded := 0
+	for fi, f := range p.Funcs {
+		g := cfg.New(f)
+		var lv *cfg.Liveness
+		var idom []int
+		if fi == p.Entry {
+			lv = cfg.ComputeLiveness(g)
+			idom = g.Dominators()
+		}
+		for _, bi := range g.RPO {
+			blk := f.Blocks[bi]
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op != isa.Boundary && !in.Op.IsSync() {
+					continue
+				}
+				rpc := isa.PC{Func: fi, Block: bi, Index: i}
+				if in.Op == isa.Boundary {
+					rpc.Index++
+				}
+				for r, v := range pc.value {
+					if fi == p.Entry {
+						// Only past the definition (dominated), and only
+						// where the register can still be observed.
+						if !cfg.Dominates(idom, pc.defBlock[r], bi) {
+							continue
+						}
+						if !lv.LiveBefore(g, bi, i).Has(r) {
+							continue
+						}
+					}
+					res.Recipes[rpc.Pack()] = append(res.Recipes[rpc.Pack()], Recipe{Reg: r, Const: v})
+					recorded++
+				}
+			}
+		}
+	}
+	return recorded
+}

@@ -1,0 +1,208 @@
+package compiler
+
+import (
+	"testing"
+
+	"lightwsp/internal/cfg"
+	"lightwsp/internal/isa"
+)
+
+// constProg: r5 is a pure constant live across many regions; r1 is an
+// incoming-style register overwritten once; r7 is defined only inside one
+// branch arm.
+func constProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("c")
+	b.Func("main")
+	b.MovImm(5, 777) // single-def constant, live throughout
+	b.MovImm(1, 0x10000)
+	b.MovImm(2, 0)
+	b.MovImm(3, 60)
+	loop := b.NewBlock()
+	b.Store(1, 0, 5) // keeps r5 live across every region
+	b.AddImm(1, 1, 8)
+	b.AddImm(2, 2, 1)
+	b.CmpLT(4, 2, 3)
+	b.Branch(4, loop, loop+1)
+	b.NewBlock()
+	// Diamond defining r7 on one arm only.
+	b.CmpLT(6, 2, 3)
+	pre := b.CurrentBlock()
+	then := b.NewBlock()
+	b.MovImm(7, 42)
+	b.Store(1, 0, 7)
+	b.Jump(then + 2)
+	els := b.NewBlock()
+	b.Store(1, 8, 5)
+	b.Jump(els + 1)
+	join := b.NewBlock()
+	b.Store(1, 16, 7) // r7 used at join: live on both paths
+	b.Halt()
+	b.SwitchTo(pre)
+	b.Branch(6, then, els)
+	b.SwitchTo(0)
+	b.Jump(loop)
+	_ = join
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGlobalConstantClassification(t *testing.T) {
+	p := constProg(t)
+	res := mustCompile(t, p, Config{StoreThreshold: 16, MaxUnroll: 1})
+	// r5 must never be checkpointed: it is reconstructed by recipes.
+	for _, f := range res.Prog.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				if blk.Instrs[i].Op == isa.CkptStore && blk.Instrs[i].Rs1 == 5 {
+					t.Fatal("global constant r5 was checkpointed")
+				}
+			}
+		}
+	}
+	if res.Stats.ConstRecipes == 0 {
+		t.Fatal("no constant recipes recorded")
+	}
+	// Every recipe set containing r5 must carry its value.
+	found := 0
+	for _, rs := range res.Recipes {
+		for _, r := range rs {
+			if r.Reg == 5 {
+				found++
+				if r.Const != 777 {
+					t.Fatalf("r5 recipe value = %d", r.Const)
+				}
+			}
+			if r.Reg == 7 {
+				t.Fatal("branch-arm-defined r7 must not be recipe-pruned (dominance)")
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("r5 has no recipes despite being live across regions")
+	}
+}
+
+// TestConstRecipeAtEveryLiveBoundary is the soundness property that broke
+// the earlier block-local pruning: a pruned register's slot is never valid,
+// so a recipe must exist at every region end where it is live.
+func TestConstRecipeAtEveryLiveBoundary(t *testing.T) {
+	res := mustCompile(t, constProg(t), Config{StoreThreshold: 16, MaxUnroll: 1})
+	for fi, f := range res.Prog.Funcs {
+		g := cfg.New(f)
+		lv := cfg.ComputeLiveness(g)
+		for _, bi := range g.RPO {
+			blk := f.Blocks[bi]
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op != isa.Boundary && !in.Op.IsSync() {
+					continue
+				}
+				if !lv.LiveBefore(g, bi, i).Has(5) {
+					continue
+				}
+				pc := isa.PC{Func: fi, Block: bi, Index: i}
+				if in.Op == isa.Boundary {
+					pc.Index++
+				}
+				hasR5 := false
+				for _, r := range res.Recipes[pc.Pack()] {
+					if r.Reg == 5 {
+						hasR5 = true
+					}
+				}
+				if !hasR5 {
+					t.Fatalf("f%d b%d i%d: r5 live at region end but no recipe", fi, bi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDisablePruningCheckpointsConstants(t *testing.T) {
+	p := constProg(t)
+	on := mustCompile(t, p, Config{StoreThreshold: 16, MaxUnroll: 1})
+	off := mustCompile(t, p, Config{StoreThreshold: 16, MaxUnroll: 1, DisablePruning: true})
+	if off.Stats.ConstRecipes != 0 {
+		t.Fatal("DisablePruning still recorded recipes")
+	}
+	if off.Stats.Checkpoints <= on.Stats.Checkpoints {
+		t.Fatalf("pruning did not reduce checkpoints: %d vs %d",
+			on.Stats.Checkpoints, off.Stats.Checkpoints)
+	}
+	// Without pruning, r5 must be checkpointed somewhere.
+	found := false
+	for _, f := range off.Prog.Funcs {
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				if blk.Instrs[i].Op == isa.CkptStore && blk.Instrs[i].Rs1 == 5 {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("r5 not checkpointed with pruning disabled")
+	}
+}
+
+func TestArgRegisterNeverConstPruned(t *testing.T) {
+	// A register that arrives as a thread argument and is overwritten
+	// once must not be treated as a global constant: resume points
+	// before the overwrite need the argument value.
+	b := isa.NewBuilder("arg")
+	b.Func("main")
+	b.MovImm(9, 0x20000)
+	// Use the argument first...
+	b.Store(9, 0, isa.ArgReg(0))
+	// ...then overwrite it with a constant and keep it live.
+	b.MovImm(isa.ArgReg(0), 5)
+	for i := 1; i < 40; i++ {
+		b.Store(9, int64(8*i), isa.ArgReg(0))
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustCompile(t, p, Config{StoreThreshold: 12, MaxUnroll: 1})
+	for _, rs := range res.Recipes {
+		for _, r := range rs {
+			if r.Reg == isa.ArgReg(0) {
+				t.Fatal("argument register recipe-pruned despite use-before-def")
+			}
+		}
+	}
+}
+
+func TestRegionEndsReport(t *testing.T) {
+	res := mustCompile(t, constProg(t), Config{StoreThreshold: 16, MaxUnroll: 1})
+	ends := res.RegionEnds()
+	if len(ends) == 0 {
+		t.Fatal("no region ends reported")
+	}
+	max := 0
+	recipes := 0
+	for _, e := range ends {
+		if e.MaxStores > max {
+			max = e.MaxStores
+		}
+		recipes += e.Recipes
+		if e.MaxStores > 16 {
+			t.Fatalf("region end %v exceeds threshold: %d", e.PC, e.MaxStores)
+		}
+		in := res.Prog.InstrAt(e.PC)
+		if in.Op != isa.Boundary && !in.Op.IsSync() {
+			t.Fatalf("region end %v does not point at a boundary (%s)", e.PC, in.Op)
+		}
+	}
+	if max != res.Stats.MaxRegionStores {
+		t.Fatalf("report max %d != stats max %d", max, res.Stats.MaxRegionStores)
+	}
+	if recipes != res.Stats.ConstRecipes {
+		t.Fatalf("report recipes %d != stats %d", recipes, res.Stats.ConstRecipes)
+	}
+}

@@ -1,0 +1,74 @@
+package compiler
+
+import (
+	"lightwsp/internal/cfg"
+	"lightwsp/internal/isa"
+)
+
+// RegionEnd describes one static region end of a compiled program: an
+// explicit Boundary or a synchronization instruction's implicit boundary.
+type RegionEnd struct {
+	// PC is the region end's location.
+	PC isa.PC
+	// Kind is the Boundary kind (KindRequired/KindLoop/KindSplit), or -1
+	// for an implicit boundary at a synchronization instruction.
+	Kind int64
+	// MaxStores is the largest persist-path store count (including the
+	// closing slot stores) any path into this region end can accumulate.
+	MaxStores int
+	// Checkpoints is the length of the checkpoint run attached here.
+	Checkpoints int
+	// Recipes is the number of reconstruction recipes recorded here.
+	Recipes int
+}
+
+// RegionEnds enumerates the compiled program's static region ends with
+// their worst-case store accounting — the compiler-side view behind the
+// region statistics of §V-G3 and the threshold sweeps of Figures 11/12.
+func (res *Result) RegionEnds() []RegionEnd {
+	var out []RegionEnd
+	for fi, f := range res.Prog.Funcs {
+		g := cfg.New(f)
+		counts, diverged := regionStoreCounts(g, func(cnt int, in *isa.Instr) int {
+			return resetCount(stepCount(cnt, in), in)
+		})
+		if diverged {
+			// Cannot happen for a validated compile result; report
+			// nothing rather than bogus numbers.
+			continue
+		}
+		for _, bi := range g.RPO {
+			blk := f.Blocks[bi]
+			cnt := counts[bi]
+			run := 0
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				atEnd := in.Op == isa.Boundary || in.Op.IsSync()
+				if atEnd {
+					end := RegionEnd{
+						PC:          isa.PC{Func: fi, Block: bi, Index: i},
+						Kind:        -1,
+						MaxStores:   stepCount(cnt, in),
+						Checkpoints: run,
+					}
+					if in.Op == isa.Boundary {
+						end.Kind = in.Imm
+					}
+					rpc := end.PC
+					if in.Op == isa.Boundary {
+						rpc.Index++
+					}
+					end.Recipes = len(res.Recipes[rpc.Pack()])
+					out = append(out, end)
+				}
+				if in.Op == isa.CkptStore {
+					run++
+				} else {
+					run = 0
+				}
+				cnt = resetCount(stepCount(cnt, in), in)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package core is the LightWSP runtime: it binds the compiler (region
+// partitioning + checkpointing), the machine (persist path, gated WPQ,
+// LRPO) and the recovery runtime into the paper's whole-system-persistence
+// scheme, and provides the crash/recover orchestration the examples, tests
+// and experiment harness drive.
+package core
+
+import (
+	"fmt"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/isa"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/recovery"
+)
+
+// Scheme returns LightWSP's hardware behaviour: every store travels the
+// 8-byte non-temporal persist path into a region-gated WPQ; cores never
+// wait at region boundaries (lazy region-level persist ordering); the DRAM
+// cache fronts PM.
+func Scheme() machine.Scheme {
+	return machine.Scheme{
+		Name:           "lightwsp",
+		Instrumented:   true,
+		UsePersistPath: true,
+		EntryBytes:     8,
+		GatedWPQ:       true,
+		UseDRAMCache:   true,
+	}
+}
+
+// Runtime holds a compiled program and the machine configuration, ready to
+// boot systems, inject failures and recover.
+type Runtime struct {
+	Compiled *compiler.Result
+	Cfg      machine.Config
+	Sch      machine.Scheme
+}
+
+// NewRuntime compiles prog for LightWSP under the given configurations.
+// The compiler's store threshold defaults to half the WPQ size (§IV-A) when
+// ccfg.StoreThreshold is zero.
+func NewRuntime(prog *isa.Program, ccfg compiler.Config, mcfg machine.Config) (*Runtime, error) {
+	if ccfg.StoreThreshold == 0 {
+		ccfg.StoreThreshold = mcfg.WPQEntries / 2
+		if ccfg.MaxUnroll == 0 {
+			ccfg.MaxUnroll = compiler.DefaultConfig().MaxUnroll
+		}
+	}
+	res, err := compiler.Compile(prog, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{Compiled: res, Cfg: mcfg, Sch: Scheme()}, nil
+}
+
+// NewSystem boots a fresh machine running the compiled program.
+func (rt *Runtime) NewSystem() (*machine.System, error) {
+	return machine.NewSystem(rt.Compiled.Prog, rt.Cfg, rt.Sch)
+}
+
+// Recover builds a machine resuming from a crash image.
+func (rt *Runtime) Recover(pm *mem.Image, regionCounter uint64) (*machine.System, error) {
+	return recovery.Recover(rt.Compiled.Prog, rt.Cfg, rt.Sch, pm, rt.Compiled.Recipes, regionCounter)
+}
+
+// RunToCompletion boots and runs a system to the end, returning it.
+func (rt *Runtime) RunToCompletion(maxCycles uint64) (*machine.System, error) {
+	sys, err := rt.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	if !sys.Run(maxCycles) {
+		return nil, fmt.Errorf("core: run exceeded %d cycles", maxCycles)
+	}
+	return sys, nil
+}
+
+// CrashResult reports one crash/recover round trip.
+type CrashResult struct {
+	// Failed is false if execution completed before the injection point
+	// (no failure happened).
+	Failed bool
+	// Report is the §IV-F drain summary.
+	Report machine.FailureReport
+	// Recovered is the post-recovery system, run to completion; when no
+	// failure happened it is the original system.
+	Recovered *machine.System
+	// Rollbacks counts crash/recover rounds executed (1 for a single
+	// injection).
+	Rollbacks int
+}
+
+// RunWithFailure runs the program, cuts power at failCycle, drains, recovers
+// and runs the recovered system to completion. If the program finishes
+// before failCycle, no failure is injected.
+func (rt *Runtime) RunWithFailure(failCycle, maxCycles uint64) (*CrashResult, error) {
+	sys, err := rt.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	if sys.RunUntil(failCycle) {
+		return &CrashResult{Failed: false, Recovered: sys}, nil
+	}
+	rep := sys.PowerFail()
+	rec, err := rt.Recover(sys.PM(), rep.RegionCounter)
+	if err != nil {
+		return nil, err
+	}
+	if !rec.Run(maxCycles) {
+		return nil, fmt.Errorf("core: recovered run exceeded %d cycles", maxCycles)
+	}
+	return &CrashResult{Failed: true, Report: rep, Recovered: rec, Rollbacks: 1}, nil
+}
+
+// RunWithRepeatedFailures injects a power failure every interval cycles —
+// each recovery itself gets interrupted — until the program completes. This
+// exercises recovery-of-recovery (nested failures), which LightWSP's
+// region-level persistence supports for free: every recovery point is just
+// a region boundary.
+//
+// The interval must exceed the time one region needs to execute and persist
+// (store-buffer drain + persist-path transit + WPQ flush), or no run can
+// ever persist a new boundary and the program cannot make progress; that
+// situation is detected (the persisted image stops changing across rounds)
+// and reported as an error.
+func (rt *Runtime) RunWithRepeatedFailures(interval, maxCycles uint64) (*CrashResult, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("core: zero failure interval")
+	}
+	sys, err := rt.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	res := &CrashResult{}
+	stagnant := 0
+	lastFingerprint := ""
+	for round := 0; ; round++ {
+		if round > int(maxCycles/interval)+1 {
+			return nil, fmt.Errorf("core: no forward progress after %d failure rounds", round)
+		}
+		if sys.RunUntil(sys.Cycle() + interval) {
+			res.Recovered = sys
+			return res, nil
+		}
+		rep := sys.PowerFail()
+		res.Failed = true
+		res.Report = rep
+		res.Rollbacks++
+		if fp := recoveryFingerprint(sys, rt.Cfg.Threads); fp == lastFingerprint {
+			stagnant++
+			if stagnant >= 8 {
+				return nil, fmt.Errorf("core: failure interval %d too short to persist a region (no progress over %d rounds)", interval, stagnant)
+			}
+		} else {
+			lastFingerprint, stagnant = fp, 0
+		}
+		sys, err = rt.Recover(sys.PM(), rep.RegionCounter)
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// recoveryFingerprint summarizes the persisted resume state; if it stops
+// changing across failure rounds, recovery is not advancing.
+func recoveryFingerprint(sys *machine.System, threads int) string {
+	fp := fmt.Sprintf("%d", sys.PM().Len())
+	for t := 0; t < threads; t++ {
+		fp += fmt.Sprintf(":%x", sys.PM().Read(mem.CkptAddr(t, mem.CkptSlotPC)))
+	}
+	return fp
+}
+
+// VerifyCrashConsistency runs the program once failure-free and once with a
+// failure at failCycle, and checks that the final persisted program data is
+// identical (DESIGN.md invariant 5). It returns the failure-free system for
+// further inspection.
+func (rt *Runtime) VerifyCrashConsistency(failCycle, maxCycles uint64) (*machine.System, error) {
+	clean, err := rt.RunToCompletion(maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	crashed, err := rt.RunWithFailure(failCycle, maxCycles)
+	if err != nil {
+		return nil, err
+	}
+	if err := recovery.VerifyEquivalence(crashed.Recovered.PM(), clean.PM()); err != nil {
+		return nil, fmt.Errorf("failure at cycle %d: %w", failCycle, err)
+	}
+	return clean, nil
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"lightwsp/internal/baseline"
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/stats"
+	"lightwsp/internal/workload"
+)
+
+// CompilerDefaults returns the zero compiler config, which Run resolves to
+// the paper's defaults (threshold = half the WPQ, 4x unrolling).
+func CompilerDefaults() compiler.Config { return compiler.Config{} }
+
+// ablationSet is the representative subset the ablations run on: one
+// cache-friendly and one memory-intensive single-threaded application plus
+// one sync-heavy parallel application per behaviour class.
+func ablationSet() []workload.Profile {
+	var out []workload.Profile
+	for _, pick := range []struct {
+		s workload.Suite
+		n string
+	}{
+		{workload.CPU2006, "hmmer"},
+		{workload.CPU2006, "bzip2"},
+		{workload.CPU2006, "lbm"},
+		{workload.STAMP, "vacation"},
+		{workload.NPB, "mg"},
+		{workload.WHISPER, "tatp"},
+	} {
+		if p, ok := workload.ByName(pick.s, pick.n); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AblationLRPOResult compares LightWSP with the naive sfence-per-region
+// strawman of §III-B on the ablation subset — the direct measurement of
+// what lazy region-level persist ordering buys.
+type AblationLRPOResult struct {
+	Apps []AblationLRPORow
+	// Geo is the [naive, lightwsp] geomean pair.
+	Geo [2]float64
+}
+
+// AblationLRPORow is one application's pair.
+type AblationLRPORow struct {
+	Suite           workload.Suite
+	Name            string
+	Naive, LightWSP float64
+}
+
+// AblationLRPO runs the LRPO ablation.
+func AblationLRPO(r *Runner) (*AblationLRPOResult, error) {
+	res := &AblationLRPOResult{}
+	var ns, ls []float64
+	for _, p := range ablationSet() {
+		n, err := r.Slowdown(p, baseline.NaiveSfence(), compiler.Config{})
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.Slowdown(p, LightWSP(), compiler.Config{})
+		if err != nil {
+			return nil, err
+		}
+		res.Apps = append(res.Apps, AblationLRPORow{Suite: p.Suite, Name: p.Name, Naive: n, LightWSP: l})
+		ns, ls = append(ns, n), append(ls, l)
+	}
+	res.Geo = [2]float64{stats.Geomean(ns), stats.Geomean(ls)}
+	return res, nil
+}
+
+func (a *AblationLRPOResult) String() string {
+	t := &stats.Table{
+		Title:   "Ablation: naive sfence-per-region vs lazy region-level persist ordering (§III-B)",
+		Columns: []string{"suite", "app", "naive-sfence", "lightwsp"},
+	}
+	for _, row := range a.Apps {
+		t.Add(string(row.Suite), row.Name, row.Naive, row.LightWSP)
+	}
+	t.Add("ALL", "geomean", a.Geo[0], a.Geo[1])
+	return t.String()
+}
+
+// AblationCompilerResult compares the compiler's optimizations (§IV-A): the
+// default pipeline against disabling loop unrolling, region combining and
+// checkpoint pruning, by static checkpoint cost and run time.
+type AblationCompilerResult struct {
+	Rows []AblationCompilerRow
+}
+
+// AblationCompilerRow is one configuration's aggregate.
+type AblationCompilerRow struct {
+	Config      string
+	Checkpoints int     // static checkpoint stores across the subset
+	Boundaries  int     // static boundaries
+	GeoSlowdown float64 // vs baseline, subset geomean
+}
+
+// AblationCompiler runs the compiler-optimization ablation.
+func AblationCompiler(r *Runner) (*AblationCompilerResult, error) {
+	configs := []struct {
+		name string
+		cc   compiler.Config
+	}{
+		{"default", compiler.Config{StoreThreshold: 32, MaxUnroll: 4}},
+		{"no-unroll", compiler.Config{StoreThreshold: 32, MaxUnroll: 1}},
+		{"no-combine", compiler.Config{StoreThreshold: 32, MaxUnroll: 4, DisableCombining: true}},
+		{"no-prune", compiler.Config{StoreThreshold: 32, MaxUnroll: 4, DisablePruning: true}},
+	}
+	res := &AblationCompilerResult{}
+	for _, cfg := range configs {
+		row := AblationCompilerRow{Config: cfg.name}
+		var sds []float64
+		for _, p := range ablationSet() {
+			prog, err := workload.Build(p)
+			if err != nil {
+				return nil, err
+			}
+			cres, err := compiler.Compile(prog, cfg.cc)
+			if err != nil {
+				return nil, err
+			}
+			row.Checkpoints += cres.Stats.Checkpoints
+			row.Boundaries += cres.Stats.Boundaries
+			sd, err := r.Slowdown(p, LightWSP(), cfg.cc)
+			if err != nil {
+				return nil, err
+			}
+			sds = append(sds, sd)
+		}
+		row.GeoSlowdown = stats.Geomean(sds)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func (a *AblationCompilerResult) String() string {
+	t := &stats.Table{
+		Title:   "Ablation: compiler optimizations (§IV-A), representative subset",
+		Columns: []string{"config", "static ckpts", "static boundaries", "slowdown geomean"},
+	}
+	for _, row := range a.Rows {
+		t.Add(row.Config, row.Checkpoints, row.Boundaries, row.GeoSlowdown)
+	}
+	return t.String()
+}

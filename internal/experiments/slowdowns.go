@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"lightwsp/internal/baseline"
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/stats"
+	"lightwsp/internal/workload"
+)
+
+// Fig7Result reproduces Figure 7: per-application slowdown of Capri, PPA
+// and LightWSP over the non-persistent baseline, with per-suite and overall
+// geometric means. The paper reports 50.5% / 8.1% / 9.0% average overheads.
+type Fig7Result struct {
+	Apps []Fig7Row
+	// SuiteGeo maps suite → [capri, ppa, lightwsp] geomeans.
+	SuiteGeo map[workload.Suite][3]float64
+	// OverallGeo is the all-application geomean triple.
+	OverallGeo [3]float64
+}
+
+// Fig7Row is one application's slowdowns.
+type Fig7Row struct {
+	Suite                workload.Suite
+	Name                 string
+	Capri, PPA, LightWSP float64
+}
+
+// Fig7 runs the headline comparison.
+func Fig7(r *Runner) (*Fig7Result, error) {
+	res := &Fig7Result{SuiteGeo: map[workload.Suite][3]float64{}}
+	var all [3][]float64
+	perSuite := map[workload.Suite]*[3][]float64{}
+	for _, p := range workload.Profiles() {
+		row := Fig7Row{Suite: p.Suite, Name: p.Name}
+		var err error
+		if row.Capri, err = r.Slowdown(p, baseline.Capri(), compiler.Config{}); err != nil {
+			return nil, err
+		}
+		if row.PPA, err = r.Slowdown(p, baseline.PPA(), compiler.Config{}); err != nil {
+			return nil, err
+		}
+		if row.LightWSP, err = r.Slowdown(p, LightWSP(), compiler.Config{}); err != nil {
+			return nil, err
+		}
+		res.Apps = append(res.Apps, row)
+		if perSuite[p.Suite] == nil {
+			perSuite[p.Suite] = &[3][]float64{}
+		}
+		for i, v := range []float64{row.Capri, row.PPA, row.LightWSP} {
+			perSuite[p.Suite][i] = append(perSuite[p.Suite][i], v)
+			all[i] = append(all[i], v)
+		}
+	}
+	for s, vals := range perSuite {
+		res.SuiteGeo[s] = [3]float64{
+			stats.Geomean(vals[0]), stats.Geomean(vals[1]), stats.Geomean(vals[2]),
+		}
+	}
+	res.OverallGeo = [3]float64{
+		stats.Geomean(all[0]), stats.Geomean(all[1]), stats.Geomean(all[2]),
+	}
+	return res, nil
+}
+
+func (f *Fig7Result) String() string {
+	t := &stats.Table{
+		Title:   "Figure 7: slowdown of Capri, PPA and LightWSP vs baseline (Optane memory mode)",
+		Columns: []string{"suite", "app", "capri", "ppa", "lightwsp"},
+	}
+	for _, a := range f.Apps {
+		t.Add(string(a.Suite), a.Name, a.Capri, a.PPA, a.LightWSP)
+	}
+	for _, s := range workload.Suites() {
+		g := f.SuiteGeo[s]
+		t.Add(string(s), "geomean", g[0], g[1], g[2])
+	}
+	t.Add("ALL", "geomean", f.OverallGeo[0], f.OverallGeo[1], f.OverallGeo[2])
+	return t.String()
+}
+
+// Fig9Result reproduces Figure 9: the ideal PSP scheme (no DRAM cache)
+// against LightWSP on the memory-intensive applications. The paper reports
+// 51.2% vs 3% average, with libquantum up to 260%.
+type Fig9Result struct {
+	Apps []Fig9Row
+	// Geo is the [pspIdeal, lightwsp] geomean pair.
+	Geo [2]float64
+	// WorstPSP names the application with the largest PSP slowdown.
+	WorstPSP string
+	WorstVal float64
+}
+
+// Fig9Row is one memory-intensive application's pair.
+type Fig9Row struct {
+	Suite              workload.Suite
+	Name               string
+	PSPIdeal, LightWSP float64
+}
+
+// Fig9 runs the PSP-vs-WSP comparison.
+func Fig9(r *Runner) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	var psp, light []float64
+	for _, p := range workload.MemoryIntensiveProfiles() {
+		row := Fig9Row{Suite: p.Suite, Name: p.Name}
+		var err error
+		if row.PSPIdeal, err = r.Slowdown(p, baseline.PSPIdeal(), compiler.Config{}); err != nil {
+			return nil, err
+		}
+		if row.LightWSP, err = r.Slowdown(p, LightWSP(), compiler.Config{}); err != nil {
+			return nil, err
+		}
+		res.Apps = append(res.Apps, row)
+		psp = append(psp, row.PSPIdeal)
+		light = append(light, row.LightWSP)
+		if row.PSPIdeal > res.WorstVal {
+			res.WorstVal = row.PSPIdeal
+			res.WorstPSP = row.Name
+		}
+	}
+	res.Geo = [2]float64{stats.Geomean(psp), stats.Geomean(light)}
+	return res, nil
+}
+
+func (f *Fig9Result) String() string {
+	t := &stats.Table{
+		Title:   "Figure 9: ideal PSP vs LightWSP on memory-intensive applications",
+		Columns: []string{"suite", "app", "psp-ideal", "lightwsp"},
+	}
+	for _, a := range f.Apps {
+		t.Add(string(a.Suite), a.Name, a.PSPIdeal, a.LightWSP)
+	}
+	t.Add("ALL", "geomean", f.Geo[0], f.Geo[1])
+	return t.String()
+}
+
+// Fig10Result reproduces Figure 10: cWSP vs LightWSP per suite, excluding
+// NPB as the paper does ("cWSP does not use it"). Paper: 5.7% vs 8.5%.
+type Fig10Result struct {
+	Suites []Fig10Row
+	// Geo is the [cwsp, lightwsp] overall geomean pair.
+	Geo [2]float64
+}
+
+// Fig10Row is one suite's pair.
+type Fig10Row struct {
+	Suite          workload.Suite
+	CWSP, LightWSP float64
+}
+
+// Fig10 runs the state-of-the-art comparison.
+func Fig10(r *Runner) (*Fig10Result, error) {
+	res := &Fig10Result{}
+	var allC, allL []float64
+	for _, s := range workload.Suites() {
+		if s == workload.NPB {
+			continue
+		}
+		var cs, ls []float64
+		for _, p := range workload.BySuite(s) {
+			c, err := r.Slowdown(p, baseline.CWSP(), compiler.Config{})
+			if err != nil {
+				return nil, err
+			}
+			l, err := r.Slowdown(p, LightWSP(), compiler.Config{})
+			if err != nil {
+				return nil, err
+			}
+			cs, ls = append(cs, c), append(ls, l)
+			allC, allL = append(allC, c), append(allL, l)
+		}
+		res.Suites = append(res.Suites, Fig10Row{Suite: s, CWSP: stats.Geomean(cs), LightWSP: stats.Geomean(ls)})
+	}
+	res.Geo = [2]float64{stats.Geomean(allC), stats.Geomean(allL)}
+	return res, nil
+}
+
+func (f *Fig10Result) String() string {
+	t := &stats.Table{
+		Title:   "Figure 10: cWSP vs LightWSP (suite geomeans, NPB excluded)",
+		Columns: []string{"suite", "cwsp", "lightwsp"},
+	}
+	for _, s := range f.Suites {
+		t.Add(string(s.Suite), s.CWSP, s.LightWSP)
+	}
+	t.Add("Geomean", f.Geo[0], f.Geo[1])
+	return t.String()
+}
+
+// Fig8Result reproduces Figure 8: region-level persistence efficiency
+// (Eq. (1)) of PPA vs LightWSP per suite. Paper: 89.3% vs 99.9% average.
+type Fig8Result struct {
+	Suites []Fig8Row
+	// Avg is the [ppa, lightwsp] all-application average pair.
+	Avg [2]float64
+}
+
+// Fig8Row is one suite's efficiency pair (percent).
+type Fig8Row struct {
+	Suite         workload.Suite
+	PPA, LightWSP float64
+}
+
+// Fig8 measures persistence efficiency.
+func Fig8(r *Runner) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	var allP, allL []float64
+	for _, s := range workload.Suites() {
+		var ps, ls []float64
+		for _, p := range workload.BySuite(s) {
+			pst, err := r.Run(p, baseline.PPA(), compiler.Config{})
+			if err != nil {
+				return nil, err
+			}
+			lst, err := r.Run(p, LightWSP(), compiler.Config{})
+			if err != nil {
+				return nil, err
+			}
+			ps = append(ps, pst.PersistenceEfficiency())
+			ls = append(ls, lst.PersistenceEfficiency())
+		}
+		allP, allL = append(allP, ps...), append(allL, ls...)
+		res.Suites = append(res.Suites, Fig8Row{Suite: s, PPA: stats.Mean(ps), LightWSP: stats.Mean(ls)})
+	}
+	res.Avg = [2]float64{stats.Mean(allP), stats.Mean(allL)}
+	return res, nil
+}
+
+func (f *Fig8Result) String() string {
+	t := &stats.Table{
+		Title:   "Figure 8: region-level persistence efficiency (%), Eq. (1)",
+		Columns: []string{"suite", "ppa", "lightwsp"},
+	}
+	for _, s := range f.Suites {
+		t.Add(string(s.Suite), s.PPA, s.LightWSP)
+	}
+	t.Add("Average", f.Avg[0], f.Avg[1])
+	return t.String()
+}

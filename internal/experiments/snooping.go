@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/isa"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/stats"
+	"lightwsp/internal/workload"
+)
+
+func victimMutator(p mem.VictimPolicy) Mutator {
+	return func(c *machine.Config) { c.VictimPolicy = p }
+}
+
+// Fig13 sweeps the buffer-snooping victim-selection policy (§V-F3):
+// full-victim (scan all ways), half-victim (scan half), zero-victim (wait
+// for the conflicting buffer entry). The paper finds no significant
+// difference because conflicts are so rare (Table II).
+func Fig13(r *Runner) (*SweepResult, error) {
+	points := []sweepPoint{
+		{mut: victimMutator(mem.FullVictim)},
+		{mut: victimMutator(mem.HalfVictim)},
+		{mut: victimMutator(mem.ZeroVictim)},
+	}
+	names := []string{"full-victim", "half-victim", "zero-victim"}
+	return sweep(r, "Figure 13: victim-selection policy (LightWSP slowdown)", names, points, workload.Profiles())
+}
+
+// Fig14Result reproduces Figure 14: L1 miss rates under the three victim
+// policies and under the stale-load mode (snooping disabled), per suite.
+// Stale loads force refetches, so the stale-load bar is the worst wherever
+// conflicts occur at all.
+type Fig14Result struct {
+	// Policies names the four configurations.
+	Policies []string
+	// MissRate[suite][i] is the average L1 miss rate (%) under policy i.
+	MissRate map[workload.Suite][]float64
+	// StaleLoads is the total stale-load refetches observed in stale-load
+	// mode.
+	StaleLoads uint64
+	// Adversarial[i] is the L1 miss rate of a cache-thrashing
+	// store-then-reload microbenchmark under policy i: the pattern that
+	// actually opens the buffer-conflict window (§IV-G). The evaluation
+	// workloads, like the paper's, conflict at ≤0.01‰ (Table II), so
+	// their miss rates barely move; this row demonstrates the mechanism.
+	Adversarial []float64
+	// AdversarialConflicts counts snoop conflicts the microbenchmark
+	// provoked under the full-victim policy.
+	AdversarialConflicts uint64
+}
+
+// Fig14 measures cache miss rates with and without buffer snooping.
+func Fig14(r *Runner) (*Fig14Result, error) {
+	policies := []mem.VictimPolicy{mem.FullVictim, mem.HalfVictim, mem.ZeroVictim, mem.StaleLoad}
+	res := &Fig14Result{
+		Policies: []string{"full-victim", "half-victim", "zero-victim", "stale-load"},
+		MissRate: map[workload.Suite][]float64{},
+	}
+	for _, s := range workload.Suites() {
+		rates := make([][]float64, len(policies))
+		for _, p := range workload.BySuite(s) {
+			for i, pol := range policies {
+				st, err := r.Run(p, LightWSP(), compiler.Config{}, victimMutator(pol))
+				if err != nil {
+					return nil, err
+				}
+				rates[i] = append(rates[i], st.L1MissRate())
+				if pol == mem.StaleLoad {
+					res.StaleLoads += st.StaleLoads
+				}
+			}
+		}
+		avg := make([]float64, len(policies))
+		for i := range rates {
+			avg[i] = stats.Mean(rates[i])
+		}
+		res.MissRate[s] = avg
+	}
+	adv, conflicts, err := adversarialRow(policies)
+	if err != nil {
+		return nil, err
+	}
+	res.Adversarial = adv
+	res.AdversarialConflicts = conflicts
+	return res, nil
+}
+
+// adversarialProg stores a value and immediately thrashes its L1 set with
+// conflicting lines before reloading it: dirty evictions of lines whose
+// persist-path entries are still in flight — the stale-load window.
+func adversarialProg() (*isa.Program, error) {
+	b := isa.NewBuilder("adversarial")
+	b.Func("main")
+	b.MovImm(1, 0x100000) // victim address
+	b.MovImm(2, 1)        // value
+	b.MovImm(10, 0)       // i
+	b.MovImm(11, 400)     // iterations
+	loop := b.NewBlock()
+	b.Store(1, 0, 2) // dirty the victim line; entry enters the FEB
+	// Thrash the same set: lines at multiples of the (tiny) L1 size.
+	for w := 1; w <= 4; w++ {
+		b.MovImm(3, int64(0x100000+w*4096))
+		b.Store(3, 0, 2)
+	}
+	b.Load(4, 1, 0) // reload the victim: stale window if snooping is off
+	b.Add(2, 2, 4)
+	b.AddImm(1, 1, 8)
+	b.AddImm(10, 10, 1)
+	b.CmpLT(5, 10, 11)
+	b.Branch(5, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	return b.Build()
+}
+
+func adversarialRow(policies []mem.VictimPolicy) ([]float64, uint64, error) {
+	prog, err := adversarialProg()
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := compiler.Compile(prog, compiler.DefaultConfig())
+	if err != nil {
+		return nil, 0, err
+	}
+	var rates []float64
+	var conflicts uint64
+	for _, pol := range policies {
+		cfg := ScaledConfig()
+		cfg.Threads = 1
+		cfg.VictimPolicy = pol
+		cfg.L1Size = 4 << 10 // tiny L1: the thrash pattern evicts fresh lines
+		cfg.L1Ways = 2
+		cfg.PersistBytesPerCredit = 1
+		cfg.PersistCreditCycles = 2 // slow path keeps entries in flight longer
+		sys, err := machine.NewSystem(res.Prog, cfg, LightWSP())
+		if err != nil {
+			return nil, 0, err
+		}
+		if !sys.Run(MaxRunCycles) {
+			return nil, 0, fmt.Errorf("adversarial run under %v did not complete", pol)
+		}
+		rates = append(rates, sys.Stats.L1MissRate())
+		if pol == mem.FullVictim {
+			conflicts = sys.Stats.SnoopConflicts
+		}
+	}
+	return rates, conflicts, nil
+}
+
+func (f *Fig14Result) String() string {
+	t := &stats.Table{
+		Title:   "Figure 14: L1 miss rate (%) with/without buffer snooping",
+		Columns: append([]string{"suite"}, f.Policies...),
+	}
+	for _, s := range workload.Suites() {
+		row := []interface{}{string(s)}
+		for _, v := range f.MissRate[s] {
+			row = append(row, v)
+		}
+		t.Add(row...)
+	}
+	row := []interface{}{"adversarial"}
+	for _, v := range f.Adversarial {
+		row = append(row, v)
+	}
+	t.Add(row...)
+	return t.String()
+}
+
+// Table2Result reproduces Table II: the buffer-snooping conflict rate per
+// suite, in conflicts per mille of snoop searches. The paper reports zero
+// for the CPU suites and under 0.01‰ elsewhere.
+type Table2Result struct {
+	// Rate maps suite → conflict rate (‰).
+	Rate map[workload.Suite]float64
+}
+
+// Table2 measures the buffer-conflict rate.
+func Table2(r *Runner) (*Table2Result, error) {
+	res := &Table2Result{Rate: map[workload.Suite]float64{}}
+	for _, s := range workload.Suites() {
+		var conflicts, searches uint64
+		for _, p := range workload.BySuite(s) {
+			st, err := r.Run(p, LightWSP(), compiler.Config{})
+			if err != nil {
+				return nil, err
+			}
+			conflicts += st.SnoopConflicts
+			searches += st.SnoopSearches
+		}
+		if searches > 0 {
+			res.Rate[s] = float64(conflicts) / float64(searches) * 1000
+		}
+	}
+	return res, nil
+}
+
+func (t2 *Table2Result) String() string {
+	t := &stats.Table{
+		Title:   "Table II: buffer-snooping conflict rate (conflicts per mille of searches)",
+		Columns: []string{"suite", "conflict rate (permille)"},
+	}
+	for _, s := range workload.Suites() {
+		t.Add(string(s), t2.Rate[s])
+	}
+	return t.String()
+}

@@ -1,0 +1,41 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders the program as human-readable assembly, one function per
+// section, with block labels and per-block store counts — the view the
+// region-statistics tool prints.
+func (p *Program) Disasm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %q (entry f%d)\n", p.Name, p.Entry)
+	for fi, f := range p.Funcs {
+		fmt.Fprintf(&sb, "\nf%d %s:\n", fi, f.Name)
+		for bi, blk := range f.Blocks {
+			fmt.Fprintf(&sb, "  b%d:  ; %d stores\n", bi, blk.StoreCount())
+			for i := range blk.Instrs {
+				fmt.Fprintf(&sb, "    %s\n", blk.Instrs[i].String())
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Clone returns a deep copy of the program. Compiler passes mutate programs
+// in place; Clone lets callers keep the original for comparison (and the
+// experiment harness compile one source program under several thresholds).
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Entry: p.Entry, Funcs: make([]*Function, len(p.Funcs))}
+	for fi, f := range p.Funcs {
+		nf := &Function{Name: f.Name, Blocks: make([]*Block, len(f.Blocks))}
+		for bi, b := range f.Blocks {
+			nb := &Block{Instrs: make([]Instr, len(b.Instrs))}
+			copy(nb.Instrs, b.Instrs)
+			nf.Blocks[bi] = nb
+		}
+		q.Funcs[fi] = nf
+	}
+	return q
+}

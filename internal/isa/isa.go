@@ -1,0 +1,430 @@
+// Package isa defines the register-machine intermediate representation that
+// LightWSP compiles and the simulator executes.
+//
+// The machine is a 64-bit load/store architecture with 32 general-purpose
+// registers, 8-byte memory words and structured control flow (functions made
+// of basic blocks). It is deliberately small: it carries exactly the features
+// the LightWSP compiler passes care about — stores, loads, calls, loops,
+// fences and atomics — plus the two instructions the compiler itself inserts,
+// region boundaries (Boundary) and live-out register checkpoints (CkptStore).
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural general-purpose registers.
+// The checkpoint storage array (§IV-A, "Checkpoint Storage Management")
+// reserves one 8-byte slot per architectural register, so this constant also
+// fixes the checkpoint-array layout.
+const NumRegs = 32
+
+// Reg identifies a general-purpose register, r0 through r31.
+type Reg uint8
+
+// Calling convention registers. A Call uses ArgReg(0..NArgs-1) and defines
+// RetReg; everything else is preserved across the call by convention (the
+// compiler places a region boundary at every call site anyway, so liveness
+// never has to reason across a call body).
+const (
+	// RetReg receives a function's return value.
+	RetReg Reg = 0
+	// FirstArgReg is the first argument register; arguments are passed in
+	// consecutive registers starting here.
+	FirstArgReg Reg = 1
+	// MaxArgs is the maximum number of register arguments.
+	MaxArgs = 6
+)
+
+// ArgReg returns the i-th argument register.
+func ArgReg(i int) Reg {
+	if i < 0 || i >= MaxArgs {
+		panic(fmt.Sprintf("isa: argument index %d out of range", i))
+	}
+	return FirstArgReg + Reg(i)
+}
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes. The set splits into four groups: ALU, memory, control
+// flow, and synchronization; plus the two compiler-inserted opcodes at the
+// end. WordSize-granularity (8 B) addressing is assumed throughout.
+const (
+	// Nop does nothing.
+	Nop Op = iota
+
+	// --- ALU ---
+
+	// MovImm: rd = imm.
+	MovImm
+	// Mov: rd = rs1.
+	Mov
+	// Add: rd = rs1 + rs2.
+	Add
+	// AddImm: rd = rs1 + imm.
+	AddImm
+	// Sub: rd = rs1 - rs2.
+	Sub
+	// Mul: rd = rs1 * rs2.
+	Mul
+	// MulImm: rd = rs1 * imm.
+	MulImm
+	// And: rd = rs1 & rs2.
+	And
+	// Or: rd = rs1 | rs2.
+	Or
+	// Xor: rd = rs1 ^ rs2.
+	Xor
+	// Shl: rd = rs1 << (rs2 & 63).
+	Shl
+	// Shr: rd = rs1 >> (rs2 & 63) (logical).
+	Shr
+	// CmpLT: rd = 1 if rs1 < rs2 (signed) else 0.
+	CmpLT
+	// CmpEQ: rd = 1 if rs1 == rs2 else 0.
+	CmpEQ
+
+	// --- Memory ---
+
+	// Load: rd = mem[rs1 + imm].
+	Load
+	// Store: mem[rs1 + imm] = rs2.
+	Store
+
+	// --- Control flow ---
+
+	// Jump: unconditional branch to block Target.
+	Jump
+	// Branch: if rs1 != 0 branch to block Target, else fall through to
+	// block Target2. Branch must terminate its block.
+	Branch
+	// Call: call function Target with NArgs arguments in ArgReg(0..);
+	// the return value arrives in RetReg (rd is ignored; RetReg is the
+	// defined register).
+	Call
+	// Ret: return rs1 from the current function (value lands in the
+	// caller's RetReg).
+	Ret
+	// Halt: stop the hardware thread. Only valid in the entry function.
+	Halt
+
+	// --- Synchronization (multi-threaded programs) ---
+
+	// Fence: full memory fence. The LightWSP compiler places a region
+	// boundary at every fence (§III-D).
+	Fence
+	// AtomicAdd: atomically rd = mem[rs1+imm]; mem[rs1+imm] += rs2.
+	// Acts as a fence; the compiler places a boundary here too.
+	AtomicAdd
+	// LockAcquire: spin until the lock word at rs1+imm is 0, then set it
+	// to 1 (atomically). Synchronization edge for happens-before.
+	LockAcquire
+	// LockRelease: set the lock word at rs1+imm to 0 (atomically).
+	LockRelease
+
+	// --- Irrevocable operations ---
+
+	// Io emits the value of rs1 to the machine's output device — the
+	// stand-in for the irrevocable I/O operations of §IV-A. The compiler
+	// treats an Io like a synchronization point (its own region), and
+	// the machine performs the emission only after every prior region
+	// has persisted, so a power failure can only interrupt an Io region
+	// before its effect or re-run the Io itself: restartable,
+	// at-least-once I/O, exactly the semantics the paper proposes
+	// ("allowing power-interrupted I/O operations to be restarted").
+	Io
+
+	// --- Compiler-inserted (never appear in source programs) ---
+
+	// Boundary is a region boundary: the PC-checkpointing store (§IV-A).
+	// It stores the recovery PC into the per-thread checkpoint array and
+	// broadcasts the current region ID to all memory controllers, then
+	// atomically takes a fresh region ID. It counts as one 8-byte store
+	// on the persist path.
+	Boundary
+	// CkptStore checkpoints register rs1 into its dedicated slot of the
+	// per-thread checkpoint array (slot index = register number). It
+	// counts as one 8-byte store on both paths.
+	CkptStore
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Nop: "nop", MovImm: "movi", Mov: "mov", Add: "add", AddImm: "addi",
+	Sub: "sub", Mul: "mul", MulImm: "muli", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", CmpLT: "cmplt", CmpEQ: "cmpeq",
+	Load: "ld", Store: "st",
+	Jump: "jmp", Branch: "br", Call: "call", Ret: "ret", Halt: "halt",
+	Fence: "fence", AtomicAdd: "amoadd",
+	LockAcquire: "lock", LockRelease: "unlock", Io: "io",
+	Boundary: "bdry", CkptStore: "ckpt",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsStore reports whether the instruction writes memory and therefore
+// travels the persist path under LightWSP. Boundary and CkptStore count:
+// both are stores into the PM-resident checkpoint array. Call counts
+// because it pushes the return PC onto the in-memory call stack.
+func (o Op) IsStore() bool {
+	return o.PersistStores() > 0
+}
+
+// PersistStores returns the number of 8-byte persist-path entries the
+// instruction generates directly. A Boundary writes two checkpoint slots
+// (recovery PC and stack pointer). Synchronization instructions trigger an
+// additional implicit hardware boundary (§III-D) worth BoundaryStores more
+// entries, accounted separately by the region partitioner.
+func (o Op) PersistStores() int {
+	switch o {
+	case Store, CkptStore, AtomicAdd, LockAcquire, LockRelease, Call:
+		return 1
+	case Boundary:
+		return BoundaryStores
+	}
+	return 0
+}
+
+// BoundaryStores is the number of persist-path stores a region boundary
+// issues: the PC-checkpointing store plus the stack-pointer checkpoint.
+const BoundaryStores = 2
+
+// PersistStoresIncludingSync returns the total persist-path entries the
+// instruction generates, counting the implicit hardware boundary that
+// synchronization instructions trigger.
+func (in *Instr) PersistStoresIncludingSync() int {
+	n := in.Op.PersistStores()
+	if in.Op.IsSync() {
+		n += BoundaryStores
+	}
+	return n
+}
+
+// IsSync reports whether the instruction is a synchronization primitive at
+// which the compiler must place a region boundary (§III-D). Irrevocable
+// operations (Io) count: they delimit their own region (§IV-A).
+func (o Op) IsSync() bool {
+	switch o {
+	case Fence, AtomicAdd, LockAcquire, LockRelease, Io:
+		return true
+	}
+	return false
+}
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (o Op) IsTerminator() bool {
+	switch o {
+	case Jump, Branch, Ret, Halt:
+		return true
+	}
+	return false
+}
+
+// Instr is a single instruction. Fields are interpreted per opcode; unused
+// fields are zero. Imm doubles as the argument count for Call.
+type Instr struct {
+	Op       Op
+	Rd       Reg   // destination register
+	Rs1, Rs2 Reg   // source registers
+	Imm      int64 // immediate / displacement / arg count for Call
+	Target   int   // block index (Jump, Branch) or function index (Call)
+	Target2  int   // fall-through block index (Branch only)
+}
+
+// Defs returns the register defined by the instruction and whether it
+// defines one at all.
+func (in *Instr) Defs() (Reg, bool) {
+	switch in.Op {
+	case MovImm, Mov, Add, AddImm, Sub, Mul, MulImm, And, Or, Xor, Shl, Shr,
+		CmpLT, CmpEQ, Load, AtomicAdd:
+		return in.Rd, true
+	case Call:
+		return RetReg, true
+	}
+	return 0, false
+}
+
+// Uses appends the registers the instruction reads to dst and returns it.
+func (in *Instr) Uses(dst []Reg) []Reg {
+	switch in.Op {
+	case Mov:
+		dst = append(dst, in.Rs1)
+	case AddImm, MulImm:
+		dst = append(dst, in.Rs1)
+	case Add, Sub, Mul, And, Or, Xor, Shl, Shr, CmpLT, CmpEQ:
+		dst = append(dst, in.Rs1, in.Rs2)
+	case Load:
+		dst = append(dst, in.Rs1)
+	case Store:
+		dst = append(dst, in.Rs1, in.Rs2)
+	case Branch:
+		dst = append(dst, in.Rs1)
+	case Ret:
+		dst = append(dst, in.Rs1)
+	case Call:
+		for i := 0; i < int(in.Imm); i++ {
+			dst = append(dst, ArgReg(i))
+		}
+	case AtomicAdd:
+		dst = append(dst, in.Rs1, in.Rs2)
+	case LockAcquire, LockRelease:
+		dst = append(dst, in.Rs1)
+	case Io:
+		dst = append(dst, in.Rs1)
+	case CkptStore:
+		dst = append(dst, in.Rs1)
+	}
+	return dst
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case Nop, Fence, Halt, Boundary:
+		return in.Op.String()
+	case MovImm:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case Mov:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case AddImm, MulImm:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case Add, Sub, Mul, And, Or, Xor, Shl, Shr, CmpLT, CmpEQ:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case Load:
+		return fmt.Sprintf("%s %s, [%s+%d]", in.Op, in.Rd, in.Rs1, in.Imm)
+	case Store:
+		return fmt.Sprintf("%s [%s+%d], %s", in.Op, in.Rs1, in.Imm, in.Rs2)
+	case Jump:
+		return fmt.Sprintf("%s b%d", in.Op, in.Target)
+	case Branch:
+		return fmt.Sprintf("%s %s, b%d, b%d", in.Op, in.Rs1, in.Target, in.Target2)
+	case Call:
+		return fmt.Sprintf("%s f%d/%d", in.Op, in.Target, in.Imm)
+	case Ret:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case AtomicAdd:
+		return fmt.Sprintf("%s %s, [%s+%d], %s", in.Op, in.Rd, in.Rs1, in.Imm, in.Rs2)
+	case LockAcquire, LockRelease:
+		return fmt.Sprintf("%s [%s+%d]", in.Op, in.Rs1, in.Imm)
+	case Io:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	case CkptStore:
+		return fmt.Sprintf("%s %s", in.Op, in.Rs1)
+	}
+	return in.Op.String()
+}
+
+// Block is a basic block: a straight-line instruction sequence ending in a
+// terminator. Blocks are identified by their index in Function.Blocks.
+type Block struct {
+	Instrs []Instr
+}
+
+// Terminator returns the block's final instruction. It panics on an empty
+// block; Validate rejects those.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		panic("isa: empty block has no terminator")
+	}
+	return &b.Instrs[len(b.Instrs)-1]
+}
+
+// Succs appends the indices of the blocks control may flow to next.
+func (b *Block) Succs(dst []int) []int {
+	t := b.Terminator()
+	switch t.Op {
+	case Jump:
+		dst = append(dst, t.Target)
+	case Branch:
+		dst = append(dst, t.Target, t.Target2)
+	}
+	return dst
+}
+
+// StoreCount returns the number of persist-path stores in the block
+// (including compiler-inserted checkpoint and boundary stores).
+func (b *Block) StoreCount() int {
+	n := 0
+	for i := range b.Instrs {
+		if b.Instrs[i].Op.IsStore() {
+			n++
+		}
+	}
+	return n
+}
+
+// Function is a single function: blocks[0] is the entry block.
+type Function struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Program is a whole compiled unit. Funcs[Entry] is where each hardware
+// thread starts executing (threads are distinguished by their argument
+// registers at startup).
+type Program struct {
+	Name  string
+	Funcs []*Function
+	Entry int
+}
+
+// PC is a program counter: a static location inside a program.
+type PC struct {
+	Func  int // function index
+	Block int // block index within the function
+	Index int // instruction index within the block
+}
+
+func (p PC) String() string { return fmt.Sprintf("f%d:b%d:%d", p.Func, p.Block, p.Index) }
+
+// Pack encodes the PC into a single 64-bit word so a Boundary instruction
+// can store it into the checkpoint array like any other 8-byte datum.
+func (p PC) Pack() uint64 {
+	return uint64(p.Func)<<40 | uint64(p.Block)<<20 | uint64(p.Index)
+}
+
+// UnpackPC decodes a PC previously encoded with Pack.
+func UnpackPC(w uint64) PC {
+	return PC{
+		Func:  int(w >> 40 & 0xFFFFFF),
+		Block: int(w >> 20 & 0xFFFFF),
+		Index: int(w & 0xFFFFF),
+	}
+}
+
+// InstrAt returns the instruction at pc.
+func (p *Program) InstrAt(pc PC) *Instr {
+	return &p.Funcs[pc.Func].Blocks[pc.Block].Instrs[pc.Index]
+}
+
+// NumInstrs returns the static instruction count of the program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// NumStores returns the static persist-path store count of the program,
+// including compiler-inserted boundary and checkpoint stores.
+func (p *Program) NumStores() int {
+	n := 0
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			n += b.StoreCount()
+		}
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringAllDefined(t *testing.T) {
+	for o := Op(0); o < numOps; o++ {
+		s := o.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d has no name", o)
+		}
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	stores := []Op{Store, AtomicAdd, LockAcquire, LockRelease, Boundary, CkptStore, Call}
+	for _, o := range stores {
+		if !o.IsStore() {
+			t.Errorf("%s should be a store", o)
+		}
+	}
+	if Boundary.PersistStores() != BoundaryStores || Store.PersistStores() != 1 || Fence.PersistStores() != 0 {
+		t.Error("PersistStores weights wrong")
+	}
+	nonStores := []Op{Nop, MovImm, Add, Load, Jump, Branch, Ret, Halt, Fence}
+	for _, o := range nonStores {
+		if o.IsStore() {
+			t.Errorf("%s should not be a store", o)
+		}
+	}
+	syncs := []Op{Fence, AtomicAdd, LockAcquire, LockRelease, Io}
+	for _, o := range syncs {
+		if !o.IsSync() {
+			t.Errorf("%s should be sync", o)
+		}
+	}
+	if Store.IsSync() || Load.IsSync() || Boundary.IsSync() {
+		t.Error("store/load/boundary must not be sync")
+	}
+	terms := []Op{Jump, Branch, Ret, Halt}
+	for _, o := range terms {
+		if !o.IsTerminator() {
+			t.Errorf("%s should be a terminator", o)
+		}
+	}
+	if Store.IsTerminator() || Fence.IsTerminator() {
+		t.Error("store/fence must not terminate blocks")
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		def  Reg
+		has  bool
+		uses []Reg
+	}{
+		{Instr{Op: MovImm, Rd: 3, Imm: 7}, 3, true, nil},
+		{Instr{Op: Mov, Rd: 2, Rs1: 5}, 2, true, []Reg{5}},
+		{Instr{Op: Add, Rd: 1, Rs1: 2, Rs2: 3}, 1, true, []Reg{2, 3}},
+		{Instr{Op: Load, Rd: 4, Rs1: 6}, 4, true, []Reg{6}},
+		{Instr{Op: Store, Rs1: 6, Rs2: 7}, 0, false, []Reg{6, 7}},
+		{Instr{Op: Branch, Rs1: 9}, 0, false, []Reg{9}},
+		{Instr{Op: Ret, Rs1: 1}, 0, false, []Reg{1}},
+		{Instr{Op: Call, Imm: 2}, RetReg, true, []Reg{ArgReg(0), ArgReg(1)}},
+		{Instr{Op: AtomicAdd, Rd: 8, Rs1: 9, Rs2: 10}, 8, true, []Reg{9, 10}},
+		{Instr{Op: CkptStore, Rs1: 11}, 0, false, []Reg{11}},
+		{Instr{Op: Io, Rs1: 12}, 0, false, []Reg{12}},
+		{Instr{Op: Boundary}, 0, false, nil},
+		{Instr{Op: Fence}, 0, false, nil},
+	}
+	for _, c := range cases {
+		d, ok := c.in.Defs()
+		if ok != c.has || (ok && d != c.def) {
+			t.Errorf("%s: Defs = %v,%v want %v,%v", c.in.String(), d, ok, c.def, c.has)
+		}
+		u := c.in.Uses(nil)
+		if len(u) != len(c.uses) {
+			t.Fatalf("%s: Uses = %v want %v", c.in.String(), u, c.uses)
+		}
+		for i := range u {
+			if u[i] != c.uses[i] {
+				t.Errorf("%s: Uses = %v want %v", c.in.String(), u, c.uses)
+			}
+		}
+	}
+}
+
+func buildValid(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("t")
+	b.Func("main")
+	b.MovImm(1, 0)
+	b.MovImm(2, 10)
+	loop := b.NewBlock()
+	b.Store(1, 0, 2)
+	b.AddImm(1, 1, 8)
+	b.CmpLT(3, 1, 2)
+	b.Branch(3, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	// patch entry to fall into loop
+	b.SwitchTo(0)
+	b.Jump(loop)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	p := buildValid(t)
+	if got := len(p.Funcs[0].Blocks); got != 3 {
+		t.Fatalf("blocks = %d, want 3", got)
+	}
+	if p.NumInstrs() != 8 {
+		t.Errorf("NumInstrs = %d, want 8", p.NumInstrs())
+	}
+	if p.NumStores() != 1 {
+		t.Errorf("NumStores = %d, want 1", p.NumStores())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"no funcs", &Program{}},
+		{"bad entry", &Program{Entry: 5, Funcs: []*Function{{Name: "f", Blocks: []*Block{{Instrs: []Instr{{Op: Halt}}}}}}}},
+		{"empty block", &Program{Funcs: []*Function{{Name: "f", Blocks: []*Block{{}}}}}},
+		{"no terminator", &Program{Funcs: []*Function{{Name: "f", Blocks: []*Block{{Instrs: []Instr{{Op: Nop}}}}}}}},
+		{"mid terminator", &Program{Funcs: []*Function{{Name: "f", Blocks: []*Block{{Instrs: []Instr{{Op: Halt}, {Op: Halt}}}}}}}},
+		{"bad jump", &Program{Funcs: []*Function{{Name: "f", Blocks: []*Block{{Instrs: []Instr{{Op: Jump, Target: 9}}}}}}}},
+		{"bad call", &Program{Funcs: []*Function{{Name: "f", Blocks: []*Block{{Instrs: []Instr{{Op: Call, Target: 4}, {Op: Halt}}}}}}}},
+		{"bad argc", &Program{Funcs: []*Function{{Name: "f", Blocks: []*Block{{Instrs: []Instr{{Op: Call, Target: 0, Imm: 99}, {Op: Halt}}}}}}}},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestBuilderErrorPropagation(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Func("f")
+	b.Halt()
+	b.Nop() // after terminator
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted instruction after terminator")
+	}
+	b2 := NewBuilder("bad2")
+	b2.Nop() // before any Func
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("Build accepted instruction before Func")
+	}
+}
+
+func TestPCPackRoundTrip(t *testing.T) {
+	f := func(fn uint16, blk uint16, idx uint16) bool {
+		pc := PC{Func: int(fn), Block: int(blk), Index: int(idx)}
+		return UnpackPC(pc.Pack()) == pc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildValid(t)
+	q := p.Clone()
+	q.Funcs[0].Blocks[0].Instrs[0].Imm = 999
+	if p.Funcs[0].Blocks[0].Instrs[0].Imm == 999 {
+		t.Fatal("Clone shares instruction storage")
+	}
+	if q.NumInstrs() != p.NumInstrs() {
+		t.Fatal("Clone changed instruction count")
+	}
+}
+
+func TestDisasmMentionsEverything(t *testing.T) {
+	p := buildValid(t)
+	d := p.Disasm()
+	for _, want := range []string{"main", "b0", "b1", "b2", "st [r1+0], r2", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Disasm missing %q in:\n%s", want, d)
+		}
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	p := buildValid(t)
+	f := p.Funcs[0]
+	if s := f.Blocks[0].Succs(nil); len(s) != 1 || s[0] != 1 {
+		t.Errorf("b0 succs = %v", s)
+	}
+	if s := f.Blocks[1].Succs(nil); len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("b1 succs = %v", s)
+	}
+	if s := f.Blocks[2].Succs(nil); len(s) != 0 {
+		t.Errorf("b2 succs = %v", s)
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := map[string]Instr{
+		"movi r1, 5":            {Op: MovImm, Rd: 1, Imm: 5},
+		"ld r2, [r3+16]":        {Op: Load, Rd: 2, Rs1: 3, Imm: 16},
+		"st [r3+8], r4":         {Op: Store, Rs1: 3, Imm: 8, Rs2: 4},
+		"br r1, b2, b3":         {Op: Branch, Rs1: 1, Target: 2, Target2: 3},
+		"call f1/2":             {Op: Call, Target: 1, Imm: 2},
+		"amoadd r1, [r2+0], r3": {Op: AtomicAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"ckpt r7":               {Op: CkptStore, Rs1: 7},
+		"bdry":                  {Op: Boundary},
+		"io r3":                 {Op: Io, Rs1: 3},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestArgRegPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgReg(99) did not panic")
+		}
+	}()
+	ArgReg(99)
+}

@@ -1,0 +1,75 @@
+package isa
+
+import "fmt"
+
+// Validate checks structural well-formedness of a program: non-empty
+// functions and blocks, a terminator exactly at the end of every block,
+// in-range branch and call targets, in-range registers and argument counts.
+// The compiler and the workload generator both run their outputs through
+// Validate; the simulator assumes a validated program.
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("isa: program %q has no functions", p.Name)
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("isa: program %q entry %d out of range", p.Name, p.Entry)
+	}
+	for fi, f := range p.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("isa: function %s (f%d) has no blocks", f.Name, fi)
+		}
+		for bi, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				return fmt.Errorf("isa: %s:b%d is empty", f.Name, bi)
+			}
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				last := ii == len(b.Instrs)-1
+				if err := p.validateInstr(fi, bi, ii, in, last, len(f.Blocks)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateInstr(fi, bi, ii int, in *Instr, last bool, nblocks int) error {
+	where := func() string {
+		return fmt.Sprintf("isa: %s:b%d:%d (%s)", p.Funcs[fi].Name, bi, ii, in)
+	}
+	if !in.Op.Valid() {
+		return fmt.Errorf("%s: invalid opcode", where())
+	}
+	if in.Op.IsTerminator() != last {
+		if last {
+			return fmt.Errorf("%s: block does not end in a terminator", where())
+		}
+		return fmt.Errorf("%s: terminator in the middle of a block", where())
+	}
+	if int(in.Rd) >= NumRegs || int(in.Rs1) >= NumRegs || int(in.Rs2) >= NumRegs {
+		return fmt.Errorf("%s: register out of range", where())
+	}
+	switch in.Op {
+	case Jump:
+		if in.Target < 0 || in.Target >= nblocks {
+			return fmt.Errorf("%s: jump target out of range", where())
+		}
+	case Branch:
+		if in.Target < 0 || in.Target >= nblocks || in.Target2 < 0 || in.Target2 >= nblocks {
+			return fmt.Errorf("%s: branch target out of range", where())
+		}
+	case Call:
+		if in.Target < 0 || in.Target >= len(p.Funcs) {
+			return fmt.Errorf("%s: call target out of range", where())
+		}
+		if in.Imm < 0 || in.Imm > MaxArgs {
+			return fmt.Errorf("%s: call argument count %d out of range", where(), in.Imm)
+		}
+	case CkptStore:
+		if int(in.Rs1) >= NumRegs {
+			return fmt.Errorf("%s: checkpoint register out of range", where())
+		}
+	}
+	return nil
+}

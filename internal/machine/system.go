@@ -1,0 +1,445 @@
+package machine
+
+import (
+	"fmt"
+
+	"lightwsp/internal/isa"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/noc"
+	"lightwsp/internal/persistpath"
+	"lightwsp/internal/trace"
+	"lightwsp/internal/wpq"
+)
+
+// mc is one memory controller: its DRAM-cache slice and its WPQ.
+type mc struct {
+	id   int
+	dram *mem.DRAMCache
+	q    *wpq.Queue
+}
+
+// System is the whole machine.
+type System struct {
+	cfg    Config
+	scheme Scheme
+	prog   *isa.Program
+
+	// arch is the architectural memory (what the cores observe); pm is
+	// the persisted image — the only state that survives power failure.
+	arch *mem.Image
+	pm   *mem.Image
+
+	cores []*Core
+	l2    *mem.Cache
+	mcs   []*mc
+	net   *noc.Network
+
+	cycle         uint64
+	regionCounter uint64
+
+	// ptrace, when set, records every WPQ→PM write (SetPersistTrace).
+	ptrace *trace.PersistTrace
+
+	statsFinal bool // finalizeStats already folded component counters in
+
+	// Output is the machine's output device: the values emitted by Io
+	// instructions, in emission order (§IV-A irrevocable operations).
+	Output []uint64
+
+	Stats Stats
+}
+
+// NewSystem builds and boots a machine running prog from the beginning:
+// every thread starts at the program entry with its thread ID in ArgReg(0)
+// and the thread count in ArgReg(1), and — for instrumented schemes — its
+// initial state written to the checkpoint array (the boot-time equivalent of
+// the OS initializing the recovery metadata).
+func NewSystem(prog *isa.Program, cfg Config, scheme Scheme) (*System, error) {
+	s, err := newBare(prog, cfg, scheme, 1)
+	if err != nil {
+		return nil, err
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		c := s.cores[t]
+		c.active = true
+		c.pc = isa.PC{Func: prog.Entry}
+		c.regs[isa.ArgReg(0)] = uint64(t)
+		c.regs[isa.ArgReg(1)] = uint64(cfg.Threads)
+		c.sp = mem.StackTop(t)
+		if scheme.Instrumented {
+			c.region = s.nextRegion()
+			s.initCheckpoint(c)
+		}
+	}
+	return s, nil
+}
+
+// NewRecoveredSystem builds a machine resuming from a persisted image:
+// caches are cold, the architectural memory is the PM image, and each
+// thread starts from the given recovery state. nextRegion seeds the global
+// region counter above every persisted region ID.
+func NewRecoveredSystem(prog *isa.Program, cfg Config, scheme Scheme, pmImage *mem.Image, states []ThreadState, nextRegion uint64) (*System, error) {
+	if len(states) != cfg.Threads {
+		return nil, fmt.Errorf("machine: %d thread states for %d threads", len(states), cfg.Threads)
+	}
+	// The recovered controllers' flush IDs must start at the first region
+	// the recovered threads will allocate — in real hardware the flush ID
+	// is a persistent register and the region counter is restored from it
+	// (§IV-F footnote 7).
+	s, err := newBare(prog, cfg, scheme, nextRegion)
+	if err != nil {
+		return nil, err
+	}
+	s.pm = pmImage
+	s.arch = pmImage.Clone()
+	for t := 0; t < cfg.Threads; t++ {
+		c := s.cores[t]
+		c.active = true
+		c.pc = states[t].PC
+		c.regs = states[t].Regs
+		c.sp = states[t].SP
+		if scheme.Instrumented {
+			c.region = s.nextRegion()
+			s.initCheckpoint(c)
+		}
+	}
+	return s, nil
+}
+
+func newBare(prog *isa.Program, cfg Config, scheme Scheme, firstRegion uint64) (*System, error) {
+	if cfg.Threads < 1 || cfg.Threads > cfg.Cores {
+		return nil, fmt.Errorf("machine: %d threads on %d cores", cfg.Threads, cfg.Cores)
+	}
+	if cfg.Cores > mem.MaxThreads {
+		return nil, fmt.Errorf("machine: %d cores exceeds layout maximum %d", cfg.Cores, mem.MaxThreads)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if scheme.StripCheckpoints {
+		prog = stripCheckpoints(prog)
+	}
+	s := &System{
+		cfg:           cfg,
+		scheme:        scheme,
+		prog:          prog,
+		arch:          mem.NewImage(),
+		pm:            mem.NewImage(),
+		l2:            mem.NewCache(cfg.L2Size, cfg.L2Ways),
+		net:           noc.New(cfg.NoCLat),
+		regionCounter: firstRegion - 1,
+	}
+	mode := wpq.FIFO
+	if scheme.GatedWPQ {
+		mode = wpq.Gated
+	}
+	for m := 0; m < cfg.NumMCs; m++ {
+		m := m
+		ctrl := &mc{
+			id:   m,
+			dram: mem.NewDRAMCache(cfg.DRAMCacheSize / uint64(cfg.NumMCs)),
+		}
+		ctrl.q = wpq.New(wpq.Config{
+			ID: m, NumMCs: cfg.NumMCs, Entries: cfg.WPQEntries, Mode: mode,
+			PMWriteInterval: cfg.PMWriteInterval, PMWriteExtra: scheme.PMWriteExtra,
+			FirstRegion: firstRegion,
+		}, wpq.Sinks{
+			PMWrite: s.pmWrite,
+			PMRead:  func(a uint64) uint64 { return s.pm.Read(a) },
+			Send:    func(msg noc.Message) { s.net.Send(s.cycle, msg) },
+			OnFlush: func(e wpq.Entry) { s.onFlush(m, e) },
+		})
+		s.mcs = append(s.mcs, ctrl)
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &Core{id: i, sys: s, l1: mem.NewCache(cfg.L1Size, cfg.L1Ways)}
+		if scheme.UsePersistPath {
+			i := i
+			c.path = persistpath.New(persistpath.Config{
+				FEBEntries:     cfg.FEBEntries,
+				BytesPerCredit: cfg.PersistBytesPerCredit,
+				CreditCycles:   cfg.PersistCreditCycles,
+				ChannelCap:     cfg.ChannelCap,
+				NumMCs:         cfg.NumMCs,
+				Latency: func(m int) uint64 {
+					if m == i%cfg.NumMCs {
+						return cfg.PersistLatNear
+					}
+					return cfg.PersistLatFar
+				},
+				MCOf: s.mcOf,
+			})
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s, nil
+}
+
+// stripCheckpoints removes CkptStore instructions (cWSP mode: idempotent
+// regions do not checkpoint registers).
+func stripCheckpoints(p *isa.Program) *isa.Program {
+	q := p.Clone()
+	for _, f := range q.Funcs {
+		for _, b := range f.Blocks {
+			out := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if in.Op != isa.CkptStore {
+					out = append(out, in)
+				}
+			}
+			b.Instrs = out
+		}
+	}
+	return q
+}
+
+// initCheckpoint writes a thread's boot/recovery state into its checkpoint
+// array in both images — the OS-maintained starting recovery point.
+func (s *System) initCheckpoint(c *Core) {
+	for r := 0; r < isa.NumRegs; r++ {
+		a := mem.CkptAddr(c.id, r)
+		s.arch.Write(a, c.regs[r])
+		s.pm.Write(a, c.regs[r])
+	}
+	pcA, spA := mem.CkptAddr(c.id, mem.CkptSlotPC), mem.CkptAddr(c.id, mem.CkptSlotSP)
+	s.arch.Write(pcA, c.pc.Pack())
+	s.pm.Write(pcA, c.pc.Pack())
+	s.arch.Write(spA, c.sp)
+	s.pm.Write(spA, c.sp)
+}
+
+// mcOf maps an address to its home controller (line interleaving).
+func (s *System) mcOf(addr uint64) int {
+	return int(addr / mem.LineSize % uint64(s.cfg.NumMCs))
+}
+
+func (s *System) nextRegion() uint64 {
+	s.regionCounter++
+	return s.regionCounter
+}
+
+// NextRegionID returns the next region ID the counter would hand out.
+func (s *System) NextRegionID() uint64 { return s.regionCounter + 1 }
+
+func (s *System) pmWrite(addr, val uint64) { s.pm.Write(addr, val) }
+
+func (s *System) onFlush(mcID int, e wpq.Entry) {
+	s.Stats.PersistFlushed++
+	s.Stats.PersistResidency += s.cycle - e.Born
+	if e.Core >= 0 && e.Core < len(s.cores) {
+		s.cores[e.Core].outstanding--
+	}
+	if s.ptrace != nil {
+		s.ptrace.Record(trace.PMWrite{
+			Cycle: s.cycle, MC: mcID, Addr: e.Addr, Val: e.Val,
+			Region: e.Region, Core: e.Core, Boundary: e.Boundary,
+		})
+	}
+}
+
+// SetPersistTrace attaches a persist-order trace; every subsequent WPQ→PM
+// write is recorded. Pass nil to detach.
+func (s *System) SetPersistTrace(t *trace.PersistTrace) { s.ptrace = t }
+
+// Cycle returns the current cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Arch returns the architectural memory image.
+func (s *System) Arch() *mem.Image { return s.arch }
+
+// PM returns the persisted image.
+func (s *System) PM() *mem.Image { return s.pm }
+
+// Prog returns the program the machine runs (after any load-time stripping).
+func (s *System) Prog() *isa.Program { return s.prog }
+
+// Scheme returns the persistence scheme.
+func (s *System) SchemeInfo() Scheme { return s.scheme }
+
+// Done reports whether execution and persistence both finished: all threads
+// halted, every persist path drained, every WPQ empty, no in-flight
+// messages.
+func (s *System) Done() bool {
+	for _, c := range s.cores {
+		if c.active && (!c.halted || len(c.sb) != 0) {
+			return false
+		}
+		if c.path != nil && !c.path.Empty() {
+			return false
+		}
+	}
+	for _, m := range s.mcs {
+		if !m.q.Empty() {
+			return false
+		}
+	}
+	return s.net.Pending() == 0
+}
+
+// Tick advances the machine one cycle.
+func (s *System) Tick() {
+	s.cycle++
+	now := s.cycle
+	for _, c := range s.cores {
+		c.tick(now)
+	}
+	for _, c := range s.cores {
+		if c.path == nil {
+			continue
+		}
+		c.path.Tick(now)
+		c.path.DeliverReady(now, s.sink)
+	}
+	for _, m := range s.net.Deliver(now) {
+		s.mcs[m.To].q.OnMessage(m)
+	}
+	for _, m := range s.mcs {
+		m.q.Tick(now)
+	}
+}
+
+// sink delivers a persist-path entry to its controller.
+func (s *System) sink(m int, e persistpath.Entry) bool {
+	q := s.mcs[m].q
+	if e.Control {
+		// Boundary replicas at non-home controllers carry no data; only
+		// the home copy occupies a WPQ slot and settles the core's
+		// outstanding count when it flushes.
+		q.AcceptControl(e.Region)
+		return true
+	}
+	return q.Accept(wpq.Entry{
+		Addr: e.Addr, Val: e.Val, Region: e.Region,
+		Boundary: e.Boundary, Core: e.Core, Born: e.Born,
+	})
+}
+
+// Run advances the machine until Done or maxCycles, returning whether the
+// run completed.
+func (s *System) Run(maxCycles uint64) bool {
+	for !s.Done() {
+		if s.cycle >= maxCycles {
+			s.Stats.Cycles = s.cycle
+			return false
+		}
+		s.Tick()
+	}
+	s.Stats.Cycles = s.cycle
+	s.finalizeStats()
+	return true
+}
+
+// RunUntil advances the machine to the given cycle (or completion),
+// returning whether it is Done.
+func (s *System) RunUntil(cycle uint64) bool {
+	for !s.Done() && s.cycle < cycle {
+		s.Tick()
+	}
+	s.Stats.Cycles = s.cycle
+	if s.Done() {
+		s.finalizeStats()
+		return true
+	}
+	return false
+}
+
+func (s *System) finalizeStats() {
+	if s.statsFinal {
+		// Run/RunUntil and PowerFail can both reach here; component
+		// counters must fold into Stats exactly once.
+		return
+	}
+	s.statsFinal = true
+	for _, c := range s.cores {
+		s.Stats.L1Hits += c.l1.Hits
+		s.Stats.L1Misses += c.l1.Misses
+		if c.path != nil {
+			s.Stats.SnoopConflicts += c.path.SnoopConflicts
+			s.Stats.SnoopSearches += c.path.SnoopSearches
+		}
+	}
+	s.Stats.L2Hits, s.Stats.L2Misses = s.l2.Hits, s.l2.Misses
+	for _, m := range s.mcs {
+		s.Stats.DRAMHits += m.dram.Hits
+		s.Stats.DRAMMisses += m.dram.Misses
+		s.Stats.WPQCAMHits += m.q.CAMHits
+		s.Stats.WPQCAMSearches += m.q.CAMSearches
+		s.Stats.WPQDeadlocks += m.q.Deadlocks
+		s.Stats.WPQUndoWrites += m.q.UndoWrites
+		s.Stats.WPQFullRejects += m.q.FullRejects
+		if m.q.MaxOccupancy > s.Stats.WPQMaxOccupancy {
+			s.Stats.WPQMaxOccupancy = m.q.MaxOccupancy
+		}
+	}
+}
+
+// loadLatency walks the hierarchy for a load and returns its latency,
+// updating cache state and statistics (§IV-G snooping, §IV-H WPQ search).
+func (s *System) loadLatency(c *Core, addr uint64) uint64 {
+	line := mem.LineAddr(addr)
+	if c.l1.Lookup(line, false) {
+		return s.cfg.L1Lat
+	}
+	lat := s.cfg.L1Lat
+	res := c.l1.Fill(line, false, s.cfg.VictimPolicy, c.snoopFn())
+	if res.Stalled {
+		s.Stats.StallEviction++
+	}
+	if res.EvictedValid && res.EvictedDirty {
+		s.l2.Lookup(res.Evicted, true) // dirty writeback touches L2
+	}
+	if s.l2.Lookup(line, false) {
+		return lat + s.cfg.L2Lat
+	}
+	lat += s.cfg.L2Lat
+	s.l2.Fill(line, false, mem.FullVictim, nil)
+
+	m := s.mcOf(addr)
+	if m != c.id%s.cfg.NumMCs {
+		lat += s.cfg.NUMAExtra
+	}
+
+	// Stale-load mode (§IV-G, Figure 14): without buffer snooping, a miss
+	// that reaches memory while the word is still on the persist path
+	// fetches stale data and must be refetched once the store lands.
+	if c.path != nil && s.cfg.VictimPolicy == mem.StaleLoad && c.path.ContainsAddr(addr) {
+		s.Stats.StaleLoads++
+		c.l1.Misses++ // the refetch
+		lat += s.cfg.DRAMLat + s.cfg.PMReadLat
+	}
+
+	if s.scheme.UseDRAMCache {
+		if s.mcs[m].dram.Access(line) {
+			return lat + s.cfg.DRAMLat
+		}
+		lat += s.cfg.DRAMLat
+	}
+
+	// §IV-H: the controller searches the WPQ in parallel with the PM
+	// load; a hit postpones the load until the entry flushes.
+	if s.scheme.UsePersistPath && s.mcs[m].q.Search(addr) {
+		lat += s.cfg.PMReadLat
+	}
+	return lat + s.cfg.PMReadLat
+}
+
+// DebugState renders internal machine state for test diagnostics.
+func (s *System) DebugState() string {
+	out := ""
+	for _, c := range s.cores {
+		if !c.active {
+			continue
+		}
+		out += fmt.Sprintf("core%d halted=%v pc=%v region=%d sb=%d spinning=%v waitDrain=%v outstanding=%d",
+			c.id, c.halted, c.pc, c.region, len(c.sb), c.spinning, c.waitDrain, c.outstanding)
+		if c.path != nil {
+			out += fmt.Sprintf(" feb=%d inflight=%d", c.path.FEBLen(), c.path.InFlight())
+		}
+		out += "\n"
+	}
+	for _, m := range s.mcs {
+		out += m.q.String() + "\n"
+	}
+	out += fmt.Sprintf("net pending=%d regionCounter=%d\n", s.net.Pending(), s.regionCounter)
+	return out
+}

@@ -1,0 +1,104 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Image is a sparse, word-granular memory image. The simulator keeps two:
+// the architectural image (what loads observe through the cache hierarchy)
+// and the PM image (what has actually persisted — the only thing that
+// survives a power failure). Unwritten words read as zero.
+type Image struct {
+	words map[uint64]uint64
+}
+
+// NewImage returns an empty image.
+func NewImage() *Image { return &Image{words: map[uint64]uint64{}} }
+
+// Read returns the word at addr (8-byte aligned).
+func (im *Image) Read(addr uint64) uint64 {
+	if !Align8(addr) {
+		panic(fmt.Sprintf("mem: unaligned read at %#x", addr))
+	}
+	return im.words[addr]
+}
+
+// Write stores a word at addr (8-byte aligned).
+func (im *Image) Write(addr, val uint64) {
+	if !Align8(addr) {
+		panic(fmt.Sprintf("mem: unaligned write at %#x", addr))
+	}
+	if val == 0 {
+		// Keep the map sparse: zero is the default.
+		delete(im.words, addr)
+		return
+	}
+	im.words[addr] = val
+}
+
+// Len returns the number of non-zero words.
+func (im *Image) Len() int { return len(im.words) }
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	c := NewImage()
+	for a, v := range im.words {
+		c.words[a] = v
+	}
+	return c
+}
+
+// Equal reports whether two images hold identical contents.
+func (im *Image) Equal(other *Image) bool {
+	if len(im.words) != len(other.words) {
+		return false
+	}
+	for a, v := range im.words {
+		if other.words[a] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns up to max human-readable differences between the images,
+// for failure reports from the crash-consistency checker.
+func (im *Image) Diff(other *Image, max int) []string {
+	var addrs []uint64
+	seen := map[uint64]bool{}
+	for a := range im.words {
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	for a := range other.words {
+		if !seen[a] {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	var out []string
+	for _, a := range addrs {
+		x, y := im.words[a], other.words[a]
+		if x != y {
+			out = append(out, fmt.Sprintf("[%#x] %#x != %#x", a, x, y))
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EqualRange reports whether the images agree on every word in [lo, hi).
+func (im *Image) EqualRange(other *Image, lo, hi uint64) bool {
+	check := func(a *Image, b *Image) bool {
+		for addr, v := range a.words {
+			if addr >= lo && addr < hi && b.words[addr] != v {
+				return false
+			}
+		}
+		return true
+	}
+	return check(im, other) && check(other, im)
+}

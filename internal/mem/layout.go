@@ -1,0 +1,79 @@
+// Package mem provides the memory substrate of the simulator: the sparse
+// functional memory image, the persistent-memory (PM) model, set-associative
+// write-back caches with pluggable victim selection (needed by LightWSP's
+// buffer snooping, §IV-G), the direct-mapped DRAM cache that Intel Optane's
+// memory mode places in front of PM, and the physical address-space layout
+// shared by the compiler runtime, the machine and the recovery code.
+package mem
+
+import "fmt"
+
+// Address-space layout. All addresses are physical, byte-granular and 8-byte
+// aligned at the access level. PM backs the whole space (Table I: 32 GB).
+const (
+	// WordSize is the persist-path data granularity (§III-A: 8 B).
+	WordSize = 8
+	// LineSize is the cache line size (Table I: 64 B).
+	LineSize = 64
+	// PMSize is the persistent main memory capacity (Table I: 32 GB).
+	PMSize = uint64(32) << 30
+
+	// CkptSlots is the number of 8-byte slots in one thread's checkpoint
+	// array: one per architectural register plus the recovery PC and the
+	// stack pointer (§IV-A "Checkpoint Storage Management").
+	CkptSlots = 34
+	// CkptSlotPC is the slot index holding the recovery PC.
+	CkptSlotPC = 32
+	// CkptSlotSP is the slot index holding the stack pointer.
+	CkptSlotSP = 33
+	// CkptStride is the per-thread spacing of checkpoint arrays.
+	CkptStride = uint64(512)
+	// MaxThreads bounds the number of hardware threads the layout
+	// reserves space for.
+	MaxThreads = 64
+
+	// CkptArrayBase is where the per-thread checkpoint arrays live: the
+	// top of PM.
+	CkptArrayBase = PMSize - MaxThreads*CkptStride
+
+	// StackSize is the per-thread call-stack reservation. Stacks grow
+	// down from their top.
+	StackSize = uint64(1) << 20
+	// StackRegionBase is the bottom of the stack region.
+	StackRegionBase = CkptArrayBase - MaxThreads*StackSize
+
+	// UndoLogSize is the per-MC undo-log reservation used by the WPQ
+	// overflow escape path (§IV-D).
+	UndoLogSize = uint64(1) << 20
+	// UndoLogBase is the bottom of the undo-log region (2 MCs max 8).
+	UndoLogBase = StackRegionBase - 8*UndoLogSize
+)
+
+// CkptAddr returns the address of checkpoint slot for a thread.
+func CkptAddr(thread, slot int) uint64 {
+	if thread < 0 || thread >= MaxThreads || slot < 0 || slot >= CkptSlots {
+		panic(fmt.Sprintf("mem: checkpoint slot out of range (thread %d slot %d)", thread, slot))
+	}
+	return CkptArrayBase + uint64(thread)*CkptStride + uint64(slot)*WordSize
+}
+
+// StackTop returns the initial stack pointer for a thread. The first push
+// writes to this address and the pointer then decrements.
+func StackTop(thread int) uint64 {
+	if thread < 0 || thread >= MaxThreads {
+		panic(fmt.Sprintf("mem: thread %d out of range", thread))
+	}
+	return StackRegionBase + uint64(thread+1)*StackSize - WordSize
+}
+
+// UndoLogAddr returns the address of the i-th undo-log record slot pair of
+// a memory controller. Each record is two words: address and old value.
+func UndoLogAddr(mc, i int) uint64 {
+	return UndoLogBase + uint64(mc)*UndoLogSize + uint64(i)*2*WordSize
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func LineAddr(addr uint64) uint64 { return addr &^ uint64(LineSize-1) }
+
+// Align8 reports whether addr is 8-byte aligned.
+func Align8(addr uint64) bool { return addr&7 == 0 }

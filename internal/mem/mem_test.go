@@ -1,0 +1,330 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestImageReadWrite(t *testing.T) {
+	im := NewImage()
+	if im.Read(0x1000) != 0 {
+		t.Fatal("unwritten word must read zero")
+	}
+	im.Write(0x1000, 42)
+	if im.Read(0x1000) != 42 {
+		t.Fatal("read after write")
+	}
+	im.Write(0x1000, 0)
+	if im.Read(0x1000) != 0 || im.Len() != 0 {
+		t.Fatal("zero write must keep the image sparse")
+	}
+}
+
+func TestImageAlignmentPanics(t *testing.T) {
+	im := NewImage()
+	for _, f := range []func(){
+		func() { im.Read(0x1001) },
+		func() { im.Write(0x1004, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unaligned access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestImageCloneEqualDiff(t *testing.T) {
+	a := NewImage()
+	a.Write(8, 1)
+	a.Write(16, 2)
+	b := a.Clone()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("clone must equal original")
+	}
+	b.Write(16, 3)
+	if a.Equal(b) {
+		t.Fatal("diverged images compare equal")
+	}
+	d := a.Diff(b, 10)
+	if len(d) != 1 {
+		t.Fatalf("Diff = %v, want one entry", d)
+	}
+	b.Write(24, 9)
+	if len(a.Diff(b, 1)) != 1 {
+		t.Fatal("Diff must honor max")
+	}
+}
+
+func TestImageEqualRange(t *testing.T) {
+	a, b := NewImage(), NewImage()
+	a.Write(0x100, 7)
+	b.Write(0x100, 7)
+	a.Write(0x8000, 1)
+	b.Write(0x8000, 2)
+	if !a.EqualRange(b, 0, 0x1000) {
+		t.Fatal("ranges agree below 0x1000")
+	}
+	if a.EqualRange(b, 0, 0x10000) {
+		t.Fatal("ranges disagree at 0x8000")
+	}
+}
+
+func TestImageProperties(t *testing.T) {
+	roundTrip := func(addr uint32, val uint64) bool {
+		im := NewImage()
+		a := uint64(addr) &^ 7
+		im.Write(a, val)
+		return im.Read(a) == val
+	}
+	if err := quick.Check(roundTrip, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutDisjoint(t *testing.T) {
+	// Checkpoint arrays, stacks and undo logs must not overlap.
+	if CkptArrayBase+MaxThreads*CkptStride > PMSize {
+		t.Error("checkpoint arrays exceed PM")
+	}
+	if StackRegionBase+MaxThreads*StackSize > CkptArrayBase {
+		t.Error("stacks overlap checkpoint arrays")
+	}
+	if UndoLogBase+8*UndoLogSize > StackRegionBase {
+		t.Error("undo logs overlap stacks")
+	}
+	if CkptAddr(0, CkptSlots-1) >= CkptAddr(1, 0) {
+		t.Error("checkpoint arrays overlap across threads")
+	}
+	if StackTop(0) >= StackRegionBase+StackSize {
+		t.Error("stack top outside its reservation")
+	}
+	if StackTop(1)-StackTop(0) != StackSize {
+		t.Error("stack stride wrong")
+	}
+}
+
+func TestCkptAddrBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range checkpoint slot did not panic")
+		}
+	}()
+	CkptAddr(0, CkptSlots)
+}
+
+func TestLineAddr(t *testing.T) {
+	if LineAddr(0x1234) != 0x1200 {
+		t.Fatalf("LineAddr(0x1234) = %#x", LineAddr(0x1234))
+	}
+	prop := func(a uint64) bool {
+		l := LineAddr(a)
+		return l%LineSize == 0 && a-l < LineSize
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4096, 4) // 16 sets
+	a := uint64(0x10000)
+	if c.Lookup(a, false) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(a, false, FullVictim, nil)
+	if !c.Lookup(a, false) {
+		t.Fatal("miss after fill")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2*LineSize*2, 2) // 2 sets, 2 ways
+	// Three lines mapping to the same set (stride = sets*LineSize).
+	stride := uint64(c.Sets() * LineSize)
+	a, b, d := uint64(0), stride, 2*stride
+	c.Fill(a, false, FullVictim, nil)
+	c.Fill(b, false, FullVictim, nil)
+	c.Lookup(a, false) // make a most-recent
+	res := c.Fill(d, false, FullVictim, nil)
+	if !res.EvictedValid || res.Evicted != b {
+		t.Fatalf("evicted %#x, want %#x (LRU)", res.Evicted, b)
+	}
+	if !c.Contains(a) || !c.Contains(d) || c.Contains(b) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := NewCache(LineSize*2, 2) // 1 set, 2 ways
+	c.Fill(0, true, FullVictim, nil)
+	c.Fill(LineSize*1*uint64(c.Sets()), false, FullVictim, nil)
+	res := c.Fill(LineSize*2*uint64(c.Sets()), false, FullVictim, nil)
+	if !res.EvictedValid || !res.EvictedDirty {
+		t.Fatalf("dirty LRU victim not reported: %+v", res)
+	}
+}
+
+func TestVictimPolicyFull(t *testing.T) {
+	c := NewCache(LineSize*4, 4) // 1 set, 4 ways
+	stride := uint64(c.Sets() * LineSize)
+	for i := uint64(0); i < 4; i++ {
+		c.Fill(i*stride, true, FullVictim, nil) // all dirty
+	}
+	// LRU victim (line 0) conflicts; line at stride does not.
+	conflicts := func(line uint64) bool { return line == 0 }
+	res := c.Fill(4*stride, false, FullVictim, conflicts)
+	if res.Stalled {
+		t.Fatal("full-victim must find the conflict-free way")
+	}
+	if !res.Conflict {
+		t.Fatal("conflict on the default victim must be reported")
+	}
+	if res.Evicted != stride {
+		t.Fatalf("evicted %#x, want %#x", res.Evicted, stride)
+	}
+	if res.Scanned < 2 {
+		t.Fatalf("scanned = %d, want >= 2", res.Scanned)
+	}
+}
+
+func TestVictimPolicyZeroStalls(t *testing.T) {
+	c := NewCache(LineSize*2, 2)
+	stride := uint64(c.Sets() * LineSize)
+	c.Fill(0, true, ZeroVictim, nil)
+	c.Fill(stride, true, ZeroVictim, nil)
+	all := func(uint64) bool { return true }
+	res := c.Fill(2*stride, false, ZeroVictim, all)
+	if !res.Stalled || !res.Conflict {
+		t.Fatalf("zero-victim with conflicting LRU must stall: %+v", res)
+	}
+	if !c.Contains(0) || !c.Contains(stride) {
+		t.Fatal("stalled fill must not modify the cache")
+	}
+}
+
+func TestVictimPolicyHalfLimitsScan(t *testing.T) {
+	c := NewCache(LineSize*8, 8)
+	stride := uint64(c.Sets() * LineSize)
+	for i := uint64(0); i < 8; i++ {
+		c.Fill(i*stride, true, HalfVictim, nil)
+	}
+	all := func(uint64) bool { return true }
+	res := c.Fill(9*stride, false, HalfVictim, all)
+	if !res.Stalled {
+		t.Fatal("all-conflicting set must stall")
+	}
+	if res.Scanned != 4 {
+		t.Fatalf("half-victim scanned %d ways, want 4", res.Scanned)
+	}
+}
+
+func TestStaleLoadSkipsSnooping(t *testing.T) {
+	c := NewCache(LineSize*2, 2)
+	stride := uint64(c.Sets() * LineSize)
+	c.Fill(0, true, StaleLoad, nil)
+	c.Fill(stride, true, StaleLoad, nil)
+	all := func(uint64) bool { return true }
+	res := c.Fill(2*stride, false, StaleLoad, all)
+	if res.Stalled || res.Conflict || res.Scanned != 0 {
+		t.Fatalf("stale-load mode must evict without snooping: %+v", res)
+	}
+}
+
+func TestCleanVictimNeverSnooped(t *testing.T) {
+	c := NewCache(LineSize*2, 2)
+	stride := uint64(c.Sets() * LineSize)
+	c.Fill(0, false, FullVictim, nil) // clean
+	c.Fill(stride, false, FullVictim, nil)
+	called := false
+	res := c.Fill(2*stride, false, FullVictim, func(uint64) bool { called = true; return true })
+	if called {
+		t.Fatal("clean victims must not consult the front-end buffer")
+	}
+	if res.Stalled {
+		t.Fatal("clean victim eviction stalled")
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	c := NewCache(4096, 4)
+	c.Fill(0x100*LineSize, true, FullVictim, nil)
+	c.InvalidateAll()
+	if c.Contains(0x100 * LineSize) {
+		t.Fatal("InvalidateAll left valid lines")
+	}
+}
+
+func TestDRAMCacheDirectMapped(t *testing.T) {
+	d := NewDRAMCache(1 << 20) // 16384 lines
+	a := uint64(0x40)
+	conflict := a + 1<<20 // same index, different tag
+	if d.Access(a) {
+		t.Fatal("cold hit")
+	}
+	if !d.Access(a) {
+		t.Fatal("warm miss")
+	}
+	if d.Access(conflict) {
+		t.Fatal("conflicting tag hit")
+	}
+	if d.Access(a) {
+		t.Fatal("displaced line still hits")
+	}
+	if d.Hits != 1 || d.Misses != 3 {
+		t.Fatalf("hits/misses = %d/%d", d.Hits, d.Misses)
+	}
+	d.InvalidateAll()
+	if d.Access(a) {
+		t.Fatal("hit after invalidate")
+	}
+}
+
+func TestVictimPolicyString(t *testing.T) {
+	for _, p := range []VictimPolicy{FullVictim, HalfVictim, ZeroVictim, StaleLoad} {
+		if p.String() == "" {
+			t.Errorf("policy %d has no name", p)
+		}
+	}
+}
+
+func TestEqualRangeSymmetric(t *testing.T) {
+	prop := func(addrs []uint16, vals []uint8) bool {
+		a, b := NewImage(), NewImage()
+		for i, ad := range addrs {
+			addr := uint64(ad) &^ 7
+			if i < len(vals) {
+				a.Write(addr, uint64(vals[i]))
+			}
+			b.Write(addr, uint64(i))
+		}
+		lo, hi := uint64(0), uint64(1<<20)
+		return a.EqualRange(b, lo, hi) == b.EqualRange(a, lo, hi)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneEqualProperty(t *testing.T) {
+	prop := func(addrs []uint16, vals []uint16) bool {
+		im := NewImage()
+		for i, ad := range addrs {
+			v := uint64(0)
+			if i < len(vals) {
+				v = uint64(vals[i])
+			}
+			im.Write(uint64(ad)&^7, v)
+		}
+		return im.Clone().Equal(im)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package noc models the on-chip interconnect LightWSP uses for its
+// region-ID boundary broadcasts and the bdry-ACK / flush-ACK exchanges
+// between memory controllers (§IV-B). Delivery is point-to-point FIFO with
+// a fixed latency per channel; MC↔MC traffic is battery-backed, so on power
+// failure in-flight ACKs still reach their targets (§IV-F step 1), while
+// unsent core-side traffic is lost with the cores.
+package noc
+
+// MsgKind distinguishes the control messages of the LRPO protocol.
+type MsgKind uint8
+
+const (
+	// MsgBoundary announces that region ID finished execution; sent by a
+	// core's persist path to every MC.
+	MsgBoundary MsgKind = iota
+	// MsgBdryAck acknowledges a boundary between MCs: "I too received
+	// boundary r".
+	MsgBdryAck
+	// MsgFlushAck announces between MCs that the sender finished
+	// flushing region r's WPQ entries to PM.
+	MsgFlushAck
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgBoundary:
+		return "bdry"
+	case MsgBdryAck:
+		return "bdry-ack"
+	case MsgFlushAck:
+		return "flush-ack"
+	}
+	return "?"
+}
+
+// Message is one control message.
+type Message struct {
+	Kind   MsgKind
+	Region uint64
+	// From identifies the sender: a core index for MsgBoundary, an MC
+	// index for ACKs.
+	From int
+	// To is the destination MC index.
+	To int
+}
+
+type inflight struct {
+	msg     Message
+	arrival uint64
+	seq     uint64 // tie-break for deterministic ordering
+}
+
+// Network delivers messages with a fixed latency. It is deliberately simple:
+// the protocol's correctness does not depend on NoC timing, only on per-
+// channel FIFO order, which a single latency trivially provides.
+type Network struct {
+	latency uint64
+	queue   []inflight
+	seq     uint64
+
+	// Sent counts messages by kind, for the experiment harness.
+	Sent [3]uint64
+}
+
+// New returns a network with the given delivery latency in cycles.
+func New(latency uint64) *Network {
+	return &Network{latency: latency}
+}
+
+// Send enqueues a message at time now; it arrives at now+latency.
+func (n *Network) Send(now uint64, m Message) {
+	n.queue = append(n.queue, inflight{msg: m, arrival: now + n.latency, seq: n.seq})
+	n.seq++
+	n.Sent[m.Kind]++
+}
+
+// Deliver pops every message due at or before now, in send order.
+func (n *Network) Deliver(now uint64) []Message {
+	var out []Message
+	rest := n.queue[:0]
+	for _, f := range n.queue {
+		if f.arrival <= now {
+			out = append(out, f.msg)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	n.queue = rest
+	// Stable order by sequence: Deliver preserves send order because the
+	// queue is scanned in insertion order and latency is uniform.
+	return out
+}
+
+// Pending returns the number of undelivered messages.
+func (n *Network) Pending() int { return len(n.queue) }
+
+// DrainAll advances virtual time until every in-flight message has been
+// delivered, returning them in order. Used by the power-failure protocol:
+// MC↔MC ACKs are battery-backed and guaranteed to arrive (§IV-F step 1).
+func (n *Network) DrainAll() []Message {
+	out := make([]Message, 0, len(n.queue))
+	for _, f := range n.queue {
+		out = append(out, f.msg)
+	}
+	n.queue = n.queue[:0]
+	return out
+}
+
+// DropCoreTraffic discards in-flight boundary broadcasts (core-sent, still
+// in the volatile core-side path at power failure); MC↔MC ACKs survive on
+// battery.
+func (n *Network) DropCoreTraffic() {
+	rest := n.queue[:0]
+	for _, f := range n.queue {
+		if f.msg.Kind != MsgBoundary {
+			rest = append(rest, f)
+		}
+	}
+	n.queue = rest
+}

@@ -1,0 +1,110 @@
+package noc
+
+import "testing"
+
+func TestDeliveryLatencyAndOrder(t *testing.T) {
+	n := New(10)
+	n.Send(0, Message{Kind: MsgBdryAck, Region: 1, From: 0, To: 1})
+	n.Send(2, Message{Kind: MsgBdryAck, Region: 2, From: 0, To: 1})
+	if got := n.Deliver(9); len(got) != 0 {
+		t.Fatalf("early delivery: %v", got)
+	}
+	got := n.Deliver(10)
+	if len(got) != 1 || got[0].Region != 1 {
+		t.Fatalf("at t=10 want region 1, got %v", got)
+	}
+	got = n.Deliver(12)
+	if len(got) != 1 || got[0].Region != 2 {
+		t.Fatalf("at t=12 want region 2, got %v", got)
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("pending = %d", n.Pending())
+	}
+}
+
+func TestDeliverPreservesSendOrder(t *testing.T) {
+	n := New(5)
+	for r := uint64(1); r <= 4; r++ {
+		n.Send(0, Message{Kind: MsgFlushAck, Region: r, From: 0, To: 1})
+	}
+	got := n.Deliver(100)
+	for i, m := range got {
+		if m.Region != uint64(i+1) {
+			t.Fatalf("order broken: %v", got)
+		}
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	n := New(1000)
+	n.Send(0, Message{Kind: MsgBdryAck, Region: 7, From: 1, To: 0})
+	got := n.DrainAll()
+	if len(got) != 1 || got[0].Region != 7 {
+		t.Fatalf("DrainAll = %v", got)
+	}
+	if n.Pending() != 0 {
+		t.Fatal("DrainAll left messages")
+	}
+}
+
+func TestDropCoreTraffic(t *testing.T) {
+	n := New(100)
+	n.Send(0, Message{Kind: MsgBoundary, Region: 3, From: 0, To: 0})
+	n.Send(0, Message{Kind: MsgBdryAck, Region: 3, From: 1, To: 0})
+	n.Send(0, Message{Kind: MsgFlushAck, Region: 2, From: 1, To: 0})
+	n.DropCoreTraffic()
+	got := n.DrainAll()
+	if len(got) != 2 {
+		t.Fatalf("want only ACKs to survive, got %v", got)
+	}
+	for _, m := range got {
+		if m.Kind == MsgBoundary {
+			t.Fatal("boundary survived DropCoreTraffic")
+		}
+	}
+}
+
+func TestSentCounters(t *testing.T) {
+	n := New(1)
+	n.Send(0, Message{Kind: MsgBoundary})
+	n.Send(0, Message{Kind: MsgBdryAck})
+	n.Send(0, Message{Kind: MsgBdryAck})
+	if n.Sent[MsgBoundary] != 1 || n.Sent[MsgBdryAck] != 2 || n.Sent[MsgFlushAck] != 0 {
+		t.Fatalf("Sent = %v", n.Sent)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []MsgKind{MsgBoundary, MsgBdryAck, MsgFlushAck} {
+		if k.String() == "?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestDeliverNeverEarlyProperty(t *testing.T) {
+	// Messages sent at time s with latency L are never delivered before
+	// s+L, and always delivered by DrainAll.
+	for lat := uint64(1); lat <= 64; lat *= 4 {
+		n := New(lat)
+		sendTimes := map[uint64][]uint64{} // region -> send time
+		for i := uint64(0); i < 50; i++ {
+			st := i * 3 % 41
+			n.Send(st, Message{Kind: MsgBdryAck, Region: i, To: 0})
+			sendTimes[i] = append(sendTimes[i], st)
+		}
+		seen := map[uint64]bool{}
+		for now := uint64(0); now < 200; now++ {
+			for _, m := range n.Deliver(now) {
+				if now < sendTimes[m.Region][0]+lat {
+					t.Fatalf("lat %d: region %d delivered at %d, sent %d",
+						lat, m.Region, now, sendTimes[m.Region][0])
+				}
+				seen[m.Region] = true
+			}
+		}
+		if len(seen) != 50 {
+			t.Fatalf("lat %d: delivered %d of 50", lat, len(seen))
+		}
+	}
+}

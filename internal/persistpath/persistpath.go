@@ -1,0 +1,216 @@
+// Package persistpath models LightWSP's repurposed non-temporal data path
+// (§II-A, §III-A): a per-core front-end buffer (the write-combining buffer,
+// combining disabled) feeding per-memory-controller FIFO channels under a
+// fixed path bandwidth. Stores travel it in 8-byte entries tagged with their
+// region ID; the region boundary travels the same FIFO, so per
+// (core, controller) channel a boundary always arrives after every earlier
+// store of its region — the ordering LightWSP's LRPO protocol relies on.
+// Channel latencies differ per controller (the NUMA effect of §II-B), which
+// is exactly the skew LRPO must tolerate.
+package persistpath
+
+import "lightwsp/internal/mem"
+
+// Entry is one unit of persist-path traffic.
+type Entry struct {
+	// Addr and Val are the store's address and value (8-byte granular).
+	Addr, Val uint64
+	// Region is the region ID tag (§IV-B).
+	Region uint64
+	// Boundary marks the PC-checkpointing store that closes Region: it is
+	// replicated into every channel, and its delivery tells the MC that
+	// the region finished.
+	Boundary bool
+	// Control marks a replica of a boundary delivered to a non-home MC:
+	// it signals "region finished" but occupies no WPQ entry.
+	Control bool
+	// Core is the issuing core (for per-core outstanding accounting).
+	Core int
+	// Bytes is the traffic the entry costs on the path: 8 for LightWSP's
+	// word-granular entries, 64 for Capri's cacheline flushes (§II-C2).
+	Bytes int
+	// Born is the cycle the entry was created (store-buffer departure),
+	// used for persistence-residency accounting (Eq. (1)'s Tp).
+	Born uint64
+}
+
+// Config parameterizes one core's persist path.
+type Config struct {
+	// FEBEntries is the front-end buffer capacity (Table I: 64).
+	FEBEntries int
+	// BytesPerCredit and CreditCycles set the path bandwidth: every
+	// CreditCycles cycles the path earns BytesPerCredit bytes of credit.
+	// (2, 1) models the paper's 4 GB/s at 2 GHz; (1, 2) models 1 GB/s.
+	BytesPerCredit int
+	CreditCycles   uint64
+	// ChannelCap bounds in-flight entries per (core, MC) channel; a full
+	// channel back-pressures the front-end buffer.
+	ChannelCap int
+	// NumMCs is the number of memory controllers.
+	NumMCs int
+	// Latency returns the core→MC transit latency in cycles; unequal
+	// values model NUMA skew.
+	Latency func(mc int) uint64
+	// MCOf maps an address to its home controller.
+	MCOf func(addr uint64) int
+}
+
+type inflight struct {
+	e       Entry
+	arrival uint64
+}
+
+// Path is one core's persist path: front-end buffer plus channels.
+type Path struct {
+	cfg      Config
+	feb      []Entry
+	credit   int
+	channels [][]inflight // per MC, FIFO
+
+	// Stats.
+	Dispatched     uint64 // entries that left the front-end buffer
+	FEBFullCycles  uint64 // cycles the buffer rejected an enqueue
+	SnoopConflicts uint64 // buffer-snooping CAM hits (§IV-G)
+	SnoopSearches  uint64 // buffer-snooping CAM searches
+}
+
+// New builds a persist path.
+func New(cfg Config) *Path {
+	return &Path{cfg: cfg, channels: make([][]inflight, cfg.NumMCs)}
+}
+
+// FEBLen returns the current front-end buffer occupancy.
+func (p *Path) FEBLen() int { return len(p.feb) }
+
+// InFlight returns the number of entries in the channels.
+func (p *Path) InFlight() int {
+	n := 0
+	for _, ch := range p.channels {
+		n += len(ch)
+	}
+	return n
+}
+
+// Empty reports whether the buffer and all channels are drained.
+func (p *Path) Empty() bool { return len(p.feb) == 0 && p.InFlight() == 0 }
+
+// Enqueue appends an entry to the front-end buffer; false means the buffer
+// is full and the store buffer must hold the store (back pressure).
+func (p *Path) Enqueue(e Entry) bool {
+	if len(p.feb) >= p.cfg.FEBEntries {
+		p.FEBFullCycles++
+		return false
+	}
+	p.feb = append(p.feb, e)
+	return true
+}
+
+// Snoop performs the buffer-snooping CAM search of §IV-G: it reports whether
+// any front-end buffer entry falls in the given cache line. It also counts
+// the search and any conflict.
+func (p *Path) Snoop(lineAddr uint64) bool {
+	p.SnoopSearches++
+	for i := range p.feb {
+		if mem.LineAddr(p.feb[i].Addr) == lineAddr {
+			p.SnoopConflicts++
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAddr reports whether a word address has a pending entry anywhere
+// on this path (front-end buffer or channels). Used by the stale-load
+// evaluation mode.
+func (p *Path) ContainsAddr(addr uint64) bool {
+	for i := range p.feb {
+		if p.feb[i].Addr == addr {
+			return true
+		}
+	}
+	for _, ch := range p.channels {
+		for i := range ch {
+			if !ch[i].e.Control && ch[i].e.Addr == addr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Tick advances the path one cycle: it accrues bandwidth credit and moves
+// front-end buffer entries into their channels while credit and channel
+// space allow. Boundary entries replicate into every channel (the home MC
+// receives the data store, the others a control copy) and require space in
+// all of them.
+func (p *Path) Tick(now uint64) {
+	if cc := p.cfg.CreditCycles; cc > 1 && now%cc != 0 {
+		// No credit earned this cycle, but dispatching may continue on
+		// banked credit.
+	} else {
+		p.credit += p.cfg.BytesPerCredit
+	}
+	if max := p.cfg.ChannelCap * p.cfg.NumMCs * 64; p.credit > max {
+		p.credit = max // cap idle accumulation
+	}
+	for len(p.feb) > 0 {
+		e := p.feb[0]
+		if p.credit < e.Bytes {
+			return
+		}
+		if e.Boundary {
+			ok := true
+			for m := 0; m < p.cfg.NumMCs; m++ {
+				if len(p.channels[m]) >= p.cfg.ChannelCap {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				return
+			}
+			home := p.cfg.MCOf(e.Addr)
+			for m := 0; m < p.cfg.NumMCs; m++ {
+				c := e
+				c.Control = m != home
+				p.channels[m] = append(p.channels[m], inflight{e: c, arrival: now + p.cfg.Latency(m)})
+			}
+		} else {
+			m := p.cfg.MCOf(e.Addr)
+			if len(p.channels[m]) >= p.cfg.ChannelCap {
+				return
+			}
+			p.channels[m] = append(p.channels[m], inflight{e: e, arrival: now + p.cfg.Latency(m)})
+		}
+		p.credit -= e.Bytes
+		p.feb = p.feb[1:]
+		p.Dispatched++
+	}
+}
+
+// DeliverReady hands each channel's due entries to sink in FIFO order. sink
+// returns false when the controller cannot accept the entry (WPQ full); the
+// channel then blocks head-of-line until a later cycle, preserving order.
+func (p *Path) DeliverReady(now uint64, sink func(mc int, e Entry) bool) {
+	for m := range p.channels {
+		ch := p.channels[m]
+		for len(ch) > 0 && ch[0].arrival <= now {
+			if !sink(m, ch[0].e) {
+				break
+			}
+			ch = ch[1:]
+		}
+		p.channels[m] = ch
+	}
+}
+
+// DropAll models power failure: the front-end buffer and the core-side
+// channels are volatile and lose their contents (§IV-F: only WPQ and the
+// MC↔MC ACKs are battery-backed).
+func (p *Path) DropAll() {
+	p.feb = nil
+	for m := range p.channels {
+		p.channels[m] = nil
+	}
+	p.credit = 0
+}

@@ -1,0 +1,275 @@
+package persistpath
+
+import (
+	"testing"
+
+	"lightwsp/internal/mem"
+)
+
+func testCfg() Config {
+	return Config{
+		FEBEntries:     4,
+		BytesPerCredit: 8,
+		CreditCycles:   1,
+		ChannelCap:     8,
+		NumMCs:         2,
+		Latency: func(mc int) uint64 {
+			if mc == 0 {
+				return 10
+			}
+			return 30 // far controller: NUMA skew
+		},
+		MCOf: func(addr uint64) int { return int(addr / mem.LineSize % 2) },
+	}
+}
+
+func entry(addr uint64, region uint64) Entry {
+	return Entry{Addr: addr, Val: 1, Region: region, Bytes: 8}
+}
+
+func TestEnqueueBackPressure(t *testing.T) {
+	p := New(testCfg())
+	for i := 0; i < 4; i++ {
+		if !p.Enqueue(entry(uint64(i*8), 1)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	if p.Enqueue(entry(100*8, 1)) {
+		t.Fatal("full buffer accepted an entry")
+	}
+	if p.FEBFullCycles != 1 {
+		t.Fatalf("FEBFullCycles = %d", p.FEBFullCycles)
+	}
+}
+
+func TestBandwidthThrottling(t *testing.T) {
+	cfg := testCfg()
+	cfg.BytesPerCredit = 2 // one 8-byte entry per 4 cycles
+	p := New(cfg)
+	for i := 0; i < 3; i++ {
+		p.Enqueue(entry(uint64(i)*mem.LineSize*2, 1)) // all to MC0
+	}
+	p.Tick(0)
+	if p.Dispatched != 0 {
+		t.Fatalf("dispatched %d with 2 credit", p.Dispatched)
+	}
+	p.Tick(1)
+	p.Tick(2)
+	p.Tick(3) // 8 bytes accumulated
+	if p.Dispatched != 1 {
+		t.Fatalf("dispatched = %d, want 1", p.Dispatched)
+	}
+}
+
+func TestDeliveryRespectsLatencyAndFIFO(t *testing.T) {
+	p := New(testCfg())
+	p.Enqueue(entry(0, 1))            // MC0
+	p.Enqueue(entry(mem.LineSize, 1)) // MC1
+	p.Tick(0)                         // 8 bytes credit: one entry dispatched
+	p.Tick(1)
+	var got []Entry
+	sink := func(mc int, e Entry) bool { got = append(got, e); return true }
+	p.DeliverReady(9, sink)
+	if len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	p.DeliverReady(10, sink)
+	if len(got) != 1 || got[0].Addr != 0 {
+		t.Fatalf("MC0 delivery wrong: %v", got)
+	}
+	p.DeliverReady(31, sink)
+	if len(got) != 2 || got[1].Addr != mem.LineSize {
+		t.Fatalf("MC1 delivery wrong: %v", got)
+	}
+}
+
+func TestBoundaryReplicatesToAllMCs(t *testing.T) {
+	p := New(testCfg())
+	b := entry(0, 5)
+	b.Boundary = true
+	p.Enqueue(b)
+	p.Tick(0)
+	var home, control int
+	p.DeliverReady(1000, func(mc int, e Entry) bool {
+		if !e.Boundary {
+			t.Fatal("non-boundary delivered")
+		}
+		if e.Control {
+			control++
+			if mc == 0 {
+				t.Fatal("control replica delivered to home controller")
+			}
+		} else {
+			home++
+			if mc != 0 {
+				t.Fatal("data boundary delivered to wrong controller")
+			}
+		}
+		return true
+	})
+	if home != 1 || control != 1 {
+		t.Fatalf("home=%d control=%d", home, control)
+	}
+}
+
+func TestBoundaryArrivesAfterEarlierStoresPerChannel(t *testing.T) {
+	// The per-channel FIFO property LRPO relies on: even with a full
+	// credit budget, a boundary dispatched after stores is delivered
+	// after them on every channel.
+	p := New(testCfg())
+	p.Enqueue(entry(0, 1))            // MC0
+	p.Enqueue(entry(mem.LineSize, 1)) // MC1
+	b := entry(2*mem.LineSize, 1)     // home MC0
+	b.Boundary = true
+	p.Enqueue(b)
+	p.Tick(0) // 8 bytes/cycle: one entry per tick
+	p.Tick(1)
+	p.Tick(2)
+	var orderMC0, orderMC1 []bool // true = boundary
+	p.DeliverReady(1000, func(mc int, e Entry) bool {
+		if mc == 0 {
+			orderMC0 = append(orderMC0, e.Boundary)
+		} else {
+			orderMC1 = append(orderMC1, e.Boundary)
+		}
+		return true
+	})
+	if len(orderMC0) != 2 || orderMC0[0] || !orderMC0[1] {
+		t.Fatalf("MC0 order = %v", orderMC0)
+	}
+	if len(orderMC1) != 2 || orderMC1[0] || !orderMC1[1] {
+		t.Fatalf("MC1 order = %v", orderMC1)
+	}
+}
+
+func TestSinkRejectionBlocksChannelHead(t *testing.T) {
+	p := New(testCfg())
+	p.Enqueue(entry(0, 1))
+	p.Enqueue(entry(2*mem.LineSize, 2)) // also MC0
+	p.Tick(0)
+	p.Tick(1)
+	calls := 0
+	p.DeliverReady(1000, func(mc int, e Entry) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("rejected head must block the channel; calls = %d", calls)
+	}
+	if p.InFlight() != 2 {
+		t.Fatalf("in flight = %d, want 2", p.InFlight())
+	}
+	delivered := 0
+	p.DeliverReady(1000, func(mc int, e Entry) bool { delivered++; return true })
+	if delivered != 2 {
+		t.Fatalf("retry delivered %d", delivered)
+	}
+}
+
+func TestChannelCapBackPressure(t *testing.T) {
+	cfg := testCfg()
+	cfg.ChannelCap = 1
+	cfg.FEBEntries = 8
+	p := New(cfg)
+	p.Enqueue(entry(0, 1))
+	p.Enqueue(entry(2*mem.LineSize, 1)) // same MC0 channel
+	p.Tick(0)
+	if p.InFlight() != 1 || p.FEBLen() != 1 {
+		t.Fatalf("cap ignored: inflight=%d feb=%d", p.InFlight(), p.FEBLen())
+	}
+}
+
+func TestSnoop(t *testing.T) {
+	p := New(testCfg())
+	p.Enqueue(entry(0x1008, 1))
+	if !p.Snoop(mem.LineAddr(0x1008)) {
+		t.Fatal("snoop missed a pending line")
+	}
+	if p.Snoop(0x2000) {
+		t.Fatal("snoop false positive")
+	}
+	if p.SnoopSearches != 2 || p.SnoopConflicts != 1 {
+		t.Fatalf("snoop stats = %d/%d", p.SnoopConflicts, p.SnoopSearches)
+	}
+}
+
+func TestContainsAddrCoversChannels(t *testing.T) {
+	p := New(testCfg())
+	p.Enqueue(entry(0x40, 1))
+	if !p.ContainsAddr(0x40) {
+		t.Fatal("FEB entry not found")
+	}
+	p.Tick(0) // moves to channel
+	if p.FEBLen() != 0 {
+		t.Fatal("entry did not dispatch")
+	}
+	if !p.ContainsAddr(0x40) {
+		t.Fatal("channel entry not found")
+	}
+	if p.ContainsAddr(0x48) {
+		t.Fatal("false positive")
+	}
+}
+
+func TestDropAll(t *testing.T) {
+	p := New(testCfg())
+	p.Enqueue(entry(0, 1))
+	p.Enqueue(entry(8, 1))
+	p.Tick(0)
+	p.DropAll()
+	if !p.Empty() {
+		t.Fatal("DropAll left entries")
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	p := New(testCfg())
+	if !p.Empty() {
+		t.Fatal("new path not empty")
+	}
+	p.Enqueue(entry(0, 1))
+	if p.Empty() {
+		t.Fatal("path with FEB entry reported empty")
+	}
+	p.Tick(0)
+	if p.Empty() {
+		t.Fatal("path with channel entry reported empty")
+	}
+	p.DeliverReady(1000, func(int, Entry) bool { return true })
+	if !p.Empty() {
+		t.Fatal("drained path not empty")
+	}
+}
+
+func TestCreditCapBoundsIdleAccumulation(t *testing.T) {
+	p := New(testCfg())
+	// A long idle period must not bank unbounded credit.
+	for c := uint64(0); c < 100000; c++ {
+		p.Tick(c)
+	}
+	// Now a burst: dispatch is still limited by channel capacity, and the
+	// credit counter must not have overflowed into nonsense.
+	for i := 0; i < 20; i++ {
+		p.Enqueue(entry(uint64(i)*2*64, 1))
+	}
+	p.Tick(100001)
+	if p.InFlight() > testCfg().ChannelCap*2 {
+		t.Fatalf("in flight %d exceeds channel caps", p.InFlight())
+	}
+}
+
+func TestCreditInterval(t *testing.T) {
+	cfg := testCfg()
+	cfg.BytesPerCredit = 1
+	cfg.CreditCycles = 2 // 0.5 B/cycle: one entry per 16 cycles
+	p := New(cfg)
+	p.Enqueue(entry(0, 1))
+	// Credit arrives on even cycles: 7 bytes through cycle 13.
+	for c := uint64(0); c < 14; c++ {
+		p.Tick(c)
+		if p.Dispatched != 0 {
+			t.Fatalf("dispatched at cycle %d with insufficient credit", c)
+		}
+	}
+	p.Tick(14) // 8th byte of credit
+	if p.Dispatched != 1 {
+		t.Fatalf("dispatched = %d after 8 bytes of credit", p.Dispatched)
+	}
+}

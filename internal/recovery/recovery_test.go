@@ -1,0 +1,169 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/isa"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+)
+
+func crashImage(t *testing.T, threads int) *mem.Image {
+	t.Helper()
+	pm := mem.NewImage()
+	for tid := 0; tid < threads; tid++ {
+		for r := 0; r < isa.NumRegs; r++ {
+			pm.Write(mem.CkptAddr(tid, r), uint64(100*tid+r))
+		}
+		pm.Write(mem.CkptAddr(tid, mem.CkptSlotPC), isa.PC{Func: 0, Block: 0, Index: 0}.Pack())
+		pm.Write(mem.CkptAddr(tid, mem.CkptSlotSP), mem.StackTop(tid))
+	}
+	return pm
+}
+
+func trivialProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("t")
+	b.Func("main")
+	b.Nop()
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestThreadStatesReadsSlots(t *testing.T) {
+	pm := crashImage(t, 2)
+	states, err := ThreadStates(pm, 2, trivialProg(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].Regs[5] != 5 || states[1].Regs[5] != 105 {
+		t.Fatalf("register slots misread: %d %d", states[0].Regs[5], states[1].Regs[5])
+	}
+	if states[1].SP != mem.StackTop(1) {
+		t.Fatalf("SP misread: %#x", states[1].SP)
+	}
+	if states[0].PC != (isa.PC{}) {
+		t.Fatalf("PC misread: %v", states[0].PC)
+	}
+}
+
+func TestThreadStatesAppliesRecipes(t *testing.T) {
+	pm := crashImage(t, 1)
+	pcWord := pm.Read(mem.CkptAddr(0, mem.CkptSlotPC))
+	recipes := map[uint64][]compiler.Recipe{
+		pcWord: {{Reg: 7, Const: 424242}},
+	}
+	states, err := ThreadStates(pm, 1, trivialProg(t), recipes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if states[0].Regs[7] != 424242 {
+		t.Fatalf("recipe not applied: r7 = %d", states[0].Regs[7])
+	}
+	// Registers without recipes keep their slot values.
+	if states[0].Regs[6] != 6 {
+		t.Fatalf("slot clobbered: r6 = %d", states[0].Regs[6])
+	}
+}
+
+func TestThreadStatesRejectsCorruptPC(t *testing.T) {
+	pm := crashImage(t, 1)
+	pm.Write(mem.CkptAddr(0, mem.CkptSlotPC), isa.PC{Func: 99, Block: 0, Index: 0}.Pack())
+	if _, err := ThreadStates(pm, 1, trivialProg(t), nil); err == nil {
+		t.Fatal("corrupt recovery PC accepted")
+	}
+	pm.Write(mem.CkptAddr(0, mem.CkptSlotPC), isa.PC{Func: 0, Block: 7, Index: 0}.Pack())
+	if _, err := ThreadStates(pm, 1, trivialProg(t), nil); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+	pm.Write(mem.CkptAddr(0, mem.CkptSlotPC), isa.PC{Func: 0, Block: 0, Index: 42}.Pack())
+	if _, err := ThreadStates(pm, 1, trivialProg(t), nil); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestRollbackUndoLogs(t *testing.T) {
+	pm := mem.NewImage()
+	// MC 1 has two uncommitted overflow records.
+	base := mem.UndoLogAddr(1, 0)
+	pm.Write(0x100, 0xBB)      // current (overflow-written) value
+	pm.Write(base, 2)          // record count
+	pm.Write(base+8, 0x100)    // record 0: addr
+	pm.Write(base+16, 0xAA)    // record 0: pre-image
+	pm.Write(base+8+16, 0x108) // record 1: addr
+	pm.Write(base+16+16, 0)    // record 1: pre-image (zero)
+	pm.Write(0x108, 7)
+	n := RollbackUndoLogs(pm, 2)
+	if n != 2 {
+		t.Fatalf("rolled back %d records, want 2", n)
+	}
+	if pm.Read(0x100) != 0xAA || pm.Read(0x108) != 0 {
+		t.Fatalf("pre-images not restored: %#x %#x", pm.Read(0x100), pm.Read(0x108))
+	}
+	if pm.Read(base) != 0 {
+		t.Fatal("undo log not invalidated")
+	}
+}
+
+func TestRecoverBuildsRunnableSystem(t *testing.T) {
+	// A crash image pointing at a program that stores a register and
+	// halts: the recovered system must run and persist the restored
+	// register value.
+	b := isa.NewBuilder("r")
+	b.Func("main")
+	b.MovImm(1, 0x5000)
+	b.Store(1, 0, 9) // r9 comes from the checkpoint slots
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := compiler.Compile(prog, compiler.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := crashImage(t, 1) // r9 slot holds 9
+	cfg := machine.DefaultConfig()
+	cfg.Threads = 1
+	sch := machine.Scheme{Name: "lightwsp", Instrumented: true, UsePersistPath: true,
+		EntryBytes: 8, GatedWPQ: true, UseDRAMCache: true}
+	sys, err := Recover(res.Prog, cfg, sch, pm, res.Recipes, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(1_000_000) {
+		t.Fatal("recovered system did not complete")
+	}
+	if got := sys.PM().Read(0x5000); got != 9 {
+		t.Fatalf("restored register not used: %d", got)
+	}
+}
+
+func TestVerifyEquivalence(t *testing.T) {
+	a, b := mem.NewImage(), mem.NewImage()
+	a.Write(0x100, 1)
+	b.Write(0x100, 1)
+	if err := VerifyEquivalence(a, b); err != nil {
+		t.Fatal(err)
+	}
+	// Differences above UserRangeEnd are ignored (stacks, checkpoints).
+	a.Write(mem.CkptAddr(0, 0), 99)
+	if err := VerifyEquivalence(a, b); err != nil {
+		t.Fatalf("reserved-range difference should be ignored: %v", err)
+	}
+	// Differences in program data are reported.
+	a.Write(0x200, 5)
+	err := VerifyEquivalence(a, b)
+	if err == nil {
+		t.Fatal("diverging data accepted")
+	}
+	if !strings.Contains(err.Error(), "0x200") {
+		t.Fatalf("diff should name the address: %v", err)
+	}
+}

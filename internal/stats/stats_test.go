@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomeanBasics(t *testing.T) {
+	if got := Geomean(nil); got != 0 {
+		t.Fatalf("Geomean(nil) = %g", got)
+	}
+	if got := Geomean([]float64{4}); got != 4 {
+		t.Fatalf("Geomean([4]) = %g", got)
+	}
+	if got := Geomean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean([1 4]) = %g", got)
+	}
+	if got := Geomean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Geomean([2 2 2]) = %g", got)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geomean accepted a non-positive value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanProperties(t *testing.T) {
+	// The geomean lies between min and max.
+	between := func(a, b uint16) bool {
+		x, y := float64(a)+1, float64(b)+1
+		g := Geomean([]float64{x, y})
+		lo, hi := math.Min(x, y), math.Max(x, y)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(between, nil); err != nil {
+		t.Error(err)
+	}
+	// Scale invariance: geomean(kx) = k * geomean(x).
+	scale := func(a, b uint8) bool {
+		x := []float64{float64(a) + 1, float64(b) + 1}
+		k := 3.0
+		scaled := Geomean([]float64{k * x[0], k * x[1]})
+		return math.Abs(scaled-k*Geomean(x)) < 1e-9
+	}
+	if err := quick.Check(scale, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	if Mean(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty aggregates must be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := Max([]float64{1, 5, 3}); got != 5 {
+		t.Fatalf("Max = %g", got)
+	}
+	if got := Max([]float64{-3, -1}); got != -1 {
+		t.Fatalf("Max of negatives = %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Columns: []string{"name", "value"}}
+	tab.Add("alpha", 1.5)
+	tab.Add("a-much-longer-name", 42)
+	out := tab.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "1.500") {
+		t.Fatalf("table output malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: every row at least as wide as the widest cell.
+	if len(lines[2]) < len("a-much-longer-name") {
+		t.Fatalf("separator not sized to widest cell:\n%s", out)
+	}
+}

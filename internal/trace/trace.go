@@ -1,0 +1,101 @@
+// Package trace records the persist-order event stream of a run — every
+// WPQ→PM write with its cycle, controller, address and region tag — and
+// checks LightWSP's ordering invariants over it (DESIGN.md invariant 2):
+//
+//   - per controller, the region IDs of flushed entries never decrease
+//     (the gated WPQ opens quarantines strictly in flush-ID order), and
+//   - per address, region IDs never decrease across controllers either
+//     (same-address conflicts are homed on one controller, so cross-region
+//     write order is preserved exactly where it matters).
+//
+// The experiment harness and tests attach a PersistTrace to a machine to
+// prove the ordering property on real executions; the cWSP baseline's
+// speculative FIFO flushing visibly violates the per-controller ordering,
+// which is precisely the behaviour its undo logging exists to repair.
+package trace
+
+import (
+	"fmt"
+)
+
+// PMWrite is one persisted store.
+type PMWrite struct {
+	// Cycle is when the write reached PM.
+	Cycle uint64
+	// MC is the memory controller that issued it.
+	MC int
+	// Addr and Val are the written word.
+	Addr, Val uint64
+	// Region is the entry's region ID tag (0 for uninstrumented schemes).
+	Region uint64
+	// Core is the store's issuing core.
+	Core int
+	// Boundary marks the PC-checkpointing store closing Region.
+	Boundary bool
+}
+
+// PersistTrace accumulates the persist-order event stream of one run.
+type PersistTrace struct {
+	// Writes is the stream in flush order (global simulation order).
+	Writes []PMWrite
+	// cap bounds memory for very long runs; 0 means unbounded.
+	cap int
+	// Dropped counts events discarded past the cap.
+	Dropped uint64
+}
+
+// New returns a trace that keeps at most cap events (0 = unbounded).
+func New(cap int) *PersistTrace {
+	return &PersistTrace{cap: cap}
+}
+
+// Record appends one write.
+func (t *PersistTrace) Record(w PMWrite) {
+	if t.cap > 0 && len(t.Writes) >= t.cap {
+		t.Dropped++
+		return
+	}
+	t.Writes = append(t.Writes, w)
+}
+
+// Len returns the number of retained events.
+func (t *PersistTrace) Len() int { return len(t.Writes) }
+
+// VerifyRegionOrder checks the LRPO ordering invariants over the trace and
+// returns the first violation found, or nil. numMCs sizes the per-controller
+// cursor table.
+func (t *PersistTrace) VerifyRegionOrder(numMCs int) error {
+	perMC := make([]uint64, numMCs)
+	perAddr := map[uint64]uint64{}
+	for i, w := range t.Writes {
+		if w.MC < 0 || w.MC >= numMCs {
+			return fmt.Errorf("trace[%d]: controller %d out of range", i, w.MC)
+		}
+		if w.Region < perMC[w.MC] {
+			return fmt.Errorf("trace[%d]: controller %d flushed region %d after region %d",
+				i, w.MC, w.Region, perMC[w.MC])
+		}
+		perMC[w.MC] = w.Region
+		if last, ok := perAddr[w.Addr]; ok && w.Region < last {
+			return fmt.Errorf("trace[%d]: address %#x written by region %d after region %d",
+				i, w.Addr, w.Region, last)
+		}
+		perAddr[w.Addr] = w.Region
+	}
+	return nil
+}
+
+// RegionsFlushed returns the set of distinct region IDs observed.
+func (t *PersistTrace) RegionsFlushed() map[uint64]int {
+	out := map[uint64]int{}
+	for _, w := range t.Writes {
+		out[w.Region]++
+	}
+	return out
+}
+
+// Summary renders a one-line digest for logs.
+func (t *PersistTrace) Summary() string {
+	return fmt.Sprintf("trace: %d PM writes across %d regions (%d dropped)",
+		len(t.Writes), len(t.RegionsFlushed()), t.Dropped)
+}

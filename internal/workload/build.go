@@ -1,0 +1,375 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lightwsp/internal/isa"
+	"lightwsp/internal/mem"
+)
+
+// Address-space layout of generated programs. The heap starts above the
+// small fixed addresses unit tests use and stays far below the machine's
+// reserved regions (stacks, checkpoint arrays, undo logs).
+const (
+	// HeapBase is where per-thread data partitions start.
+	HeapBase = uint64(1) << 20
+	// SharedBase holds the lock word and shared counters of critical
+	// sections.
+	SharedBase = uint64(256) << 10
+	// HotRegion is the size of the per-thread hot region.
+	HotRegion = uint64(32) << 10
+)
+
+// Register conventions of generated code. ArgReg(0)/ArgReg(1) arrive with
+// the thread ID and thread count and are copied out immediately; r0–r4 stay
+// free for calls.
+const (
+	rScratch0 = isa.Reg(17)
+	rScratch1 = isa.Reg(18)
+	rScratch2 = isa.Reg(19)
+	rAcc      = isa.Reg(20) // running computation accumulator
+	rAcc2     = isa.Reg(24) // second accumulator (independent ALU chain)
+	rAddr     = isa.Reg(21) // generated effective address
+	rAddrTmp  = isa.Reg(22) // address-generation temporary
+	rShared   = isa.Reg(23) // shared region base
+	rLCG      = isa.Reg(10) // address-generator state
+	rColdBase = isa.Reg(11)
+	rHotBase  = isa.Reg(12)
+	rColdMask = isa.Reg(13) // byte mask of the cold range (range−1)
+	rHotMask  = isa.Reg(14) // word-index mask of the hot range
+	rColdPtr  = isa.Reg(27) // cold-sweep byte offset
+	rIter     = isa.Reg(15)
+	rIterN    = isa.Reg(16)
+	rC8       = isa.Reg(25) // constant 8 (LCG shift)
+	rC3       = isa.Reg(26) // constant 3 (word→byte shift)
+	rTID      = isa.Reg(30)
+	rNThreads = isa.Reg(29)
+)
+
+// Build synthesizes the profile's program. The same profile always yields
+// the same program: the generator PRNG is seeded from the profile name.
+func Build(p Profile) (*isa.Program, error) {
+	if p.Segments <= 0 || p.Iterations <= 0 {
+		return nil, fmt.Errorf("workload %s: empty shape", p.Name)
+	}
+	r := rand.New(rand.NewSource(seed(p)))
+	b := isa.NewBuilder(string(p.Suite) + "/" + p.Name)
+	b.Func("main")
+
+	threads := p.Threads
+	if threads < 1 {
+		threads = 1
+	}
+	part := p.WorkingSet / uint64(threads)
+	if part < HotRegion*2 {
+		part = HotRegion * 2
+	}
+	part = pow2Floor(part)
+
+	// Prologue: pin thread identity, bases, masks and constants.
+	b.Mov(rTID, isa.ArgReg(0))
+	b.Mov(rNThreads, isa.ArgReg(1))
+	b.MovImm(rScratch0, int64(part))
+	b.Mul(rColdBase, rTID, rScratch0)
+	b.MovImm(rScratch0, int64(HeapBase))
+	b.Add(rColdBase, rColdBase, rScratch0)
+	b.Mov(rHotBase, rColdBase)
+	b.MovImm(rColdMask, int64(part-1))
+	b.MovImm(rHotMask, int64(HotRegion/mem.WordSize-1))
+	b.MovImm(rColdPtr, 0)
+	b.MovImm(rShared, int64(SharedBase))
+	b.MovImm(rLCG, seed(p)^0x5E3779B97F4A7C15)
+	b.Add(rLCG, rLCG, rTID) // decorrelate threads
+	b.MovImm(rC8, 8)
+	b.MovImm(rC3, 3)
+	b.MovImm(rAcc, 1)
+	b.MovImm(rAcc2, 2)
+	b.MovImm(rIter, 0)
+	b.MovImm(rIterN, int64(p.Iterations))
+
+	head := b.NewBlock()
+	g := &gen{b: b, p: p, r: r}
+	for s := 0; s < p.Segments; s++ {
+		g.segment(s)
+	}
+	g.padToStoreFraction(head)
+	// Latch.
+	b.AddImm(rIter, rIter, 1)
+	b.CmpLT(rScratch0, rIter, rIterN)
+	exit := g.splitTarget()
+	b.Branch(rScratch0, head, exit)
+	b.SwitchTo(exit)
+	// Publish the accumulator so dead-code concerns never arise and the
+	// final memory state witnesses the whole computation.
+	b.MulImm(rScratch0, rTID, 8)
+	b.Add(rScratch0, rShared, rScratch0)
+	b.Store(rScratch0, 64, rAcc)
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(head)
+
+	// Helper (leaf) function: a short computation over its argument with
+	// one store into the caller-passed scratch address.
+	b.Func("helper")
+	b.MulImm(3, isa.ArgReg(0), 3)
+	b.AddImm(3, 3, 0x5D)
+	b.Xor(3, 3, isa.ArgReg(0))
+	b.Store(isa.ArgReg(1), 0, 3)
+	b.Ret(3)
+
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	return prog, nil
+}
+
+func seed(p Profile) int64 {
+	h := int64(1469598103934665603)
+	for _, c := range string(p.Suite) + "/" + p.Name {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+func pow2Floor(x uint64) uint64 {
+	p := uint64(1)
+	for p*2 <= x {
+		p *= 2
+	}
+	return p
+}
+
+// gen emits one program's segments.
+type gen struct {
+	b *isa.Builder
+	p Profile
+	r *rand.Rand
+}
+
+// splitTarget allocates the block that follows the current one and returns
+// its index, leaving the builder on the current block.
+func (g *gen) splitTarget() int {
+	cur := g.b.CurrentBlock()
+	nb := g.b.NewBlock()
+	g.b.SwitchTo(cur)
+	return nb
+}
+
+// address emits code leaving a generated effective address in rAddr,
+// drawing from the hot or cold range per the profile's locality. Hot
+// accesses scatter pseudo-randomly over the small hot region (cache-
+// resident reuse); cold accesses sweep the full working set with a strided
+// pointer that wraps, so every line is revisited once the sweep laps — the
+// reuse pattern that makes a DRAM cache (and its absence under PSP,
+// Figure 9) matter.
+func (g *gen) address() {
+	b := g.b
+	if g.r.Float64() < g.p.HotFraction {
+		// LCG step over the hot region.
+		b.MulImm(rLCG, rLCG, 6364136223846793005)
+		b.AddImm(rLCG, rLCG, 1442695040888963407)
+		b.Shr(rAddrTmp, rLCG, rC8)
+		b.And(rAddrTmp, rAddrTmp, rHotMask)
+		b.Shl(rAddrTmp, rAddrTmp, rC3)
+		b.Add(rAddr, rHotBase, rAddrTmp)
+		return
+	}
+	b.Add(rAddr, rColdBase, rColdPtr)
+	b.AddImm(rColdPtr, rColdPtr, int64(mem.LineSize+mem.WordSize))
+	b.And(rColdPtr, rColdPtr, rColdMask)
+}
+
+// segmentKind returns the deterministic segment type for index idx: a
+// weighted round-robin over (store, load, alu) plus the structural features
+// (calls, critical sections, branch diamonds) at their fixed cadences.
+// Determinism matters: with few segments per loop body, random draws give
+// the generated applications bimodal instruction mixes.
+type segmentKind int
+
+const (
+	segStore segmentKind = iota
+	segLoad
+	segALU
+)
+
+func (g *gen) segmentKind(idx int) segmentKind {
+	p := g.p
+	total := p.StoreWeight + p.LoadWeight + p.ALUWeight
+	slot := (idx * total) / maxInt(p.Segments, 1) % total
+	switch {
+	case slot < p.StoreWeight:
+		return segStore
+	case slot < p.StoreWeight+p.LoadWeight:
+		return segLoad
+	}
+	return segALU
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// segment emits one kernel segment.
+func (g *gen) segment(idx int) {
+	b, p := g.b, g.p
+	if p.CritEvery > 0 && p.Threads > 1 && idx%p.CritEvery == p.CritEvery-1 {
+		g.critical()
+		return
+	}
+	if p.CallEvery > 0 && idx%p.CallEvery == p.CallEvery-1 {
+		g.call()
+		return
+	}
+	if g.r.Float64() < p.Branchiness {
+		g.diamond()
+		return
+	}
+	switch g.segmentKind(idx) {
+	case segStore:
+		n := 1 + g.r.Intn(2)
+		for i := 0; i < n; i++ {
+			g.address()
+			g.filler()
+			b.Store(rAddr, 0, rAcc)
+		}
+	case segLoad:
+		// Issue the loads back to back into rotating scratch registers so
+		// independent misses overlap (memory-level parallelism), then fold.
+		n := 1 + g.r.Intn(3)
+		regs := []isa.Reg{rScratch0, rScratch1, rScratch2}
+		for i := 0; i < n; i++ {
+			g.address()
+			g.filler()
+			b.Load(regs[i%len(regs)], rAddr, 0)
+		}
+		for i := 0; i < n; i++ {
+			b.Add(rAcc, rAcc, regs[i%len(regs)])
+		}
+	default:
+		// Two independent chains keep the 4-wide core fed, so the
+		// instruction count — not a serial dependence — sets the pace.
+		n := 4 + g.r.Intn(8)
+		for i := 0; i < n; i++ {
+			b.AddImm(rAcc, rAcc, int64(1+g.r.Intn(64)))
+			b.Xor(rAcc2, rAcc2, rAcc)
+			b.AddImm(rAcc2, rAcc2, int64(1+g.r.Intn(16)))
+			if i%4 == 3 {
+				b.MulImm(rAcc, rAcc, 7)
+			}
+		}
+		b.Add(rAcc, rAcc, rAcc2)
+	}
+}
+
+// padToStoreFraction appends ALU work to the loop body until the static
+// ratio of persist-path stores to instructions matches the profile's
+// StoreFrac target. This pins each application class's persist-path demand
+// — the quantity every persistence scheme's overhead scales with — against
+// the randomness of the segment mix. Diamond arms are counted statically
+// (both arms), which over-counts executed stores slightly, so the realized
+// dynamic fraction errs below the target.
+func (g *gen) padToStoreFraction(head int) {
+	frac := g.p.StoreFrac
+	if frac <= 0 {
+		frac = 0.07
+	}
+	fn := g.b
+	_ = fn
+	stores, insts := 0, 0
+	// Count the loop body: every block from head onward.
+	prog := g.b
+	_ = prog
+	blocks := g.b.BodyBlocks(head)
+	for _, blk := range blocks {
+		for i := range blk.Instrs {
+			insts++
+			stores += blk.Instrs[i].Op.PersistStores()
+		}
+	}
+	target := int(float64(stores) / frac)
+	// Cap the dilution: past ~35% body growth the padding would distort
+	// the application's compute/memory balance more than it stabilizes
+	// the store rate.
+	if max := insts + insts*35/100; target > max {
+		target = max
+	}
+	for pad := insts; pad < target; pad++ {
+		if pad%2 == 0 {
+			g.b.AddImm(rAcc2, rAcc2, int64(1+g.r.Intn(32)))
+		} else {
+			g.b.Xor(rAcc, rAcc, rAcc2)
+		}
+	}
+}
+
+// filler emits a few single-cycle ALU operations between memory accesses,
+// keeping the generated store density per instruction in a realistic range.
+func (g *gen) filler() {
+	b := g.b
+	n := 2 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		b.AddImm(rAcc2, rAcc2, int64(1+g.r.Intn(32)))
+		b.Xor(rAcc, rAcc, rAcc2)
+	}
+}
+
+// diamond emits a data-dependent branch with a store on each arm.
+func (g *gen) diamond() {
+	b := g.b
+	pre := b.CurrentBlock()
+	b.MovImm(rScratch0, 1)
+	b.And(rScratch0, rLCG, rScratch0)
+	then := b.NewBlock()
+	g.address()
+	g.filler()
+	b.AddImm(rAcc, rAcc, 13)
+	b.Store(rAddr, 0, rAcc)
+	els := b.NewBlock()
+	g.address()
+	g.filler()
+	b.MulImm(rAcc, rAcc, 3)
+	b.Store(rAddr, 0, rAcc)
+	join := b.NewBlock()
+	b.SwitchTo(els)
+	b.Jump(join)
+	b.SwitchTo(then)
+	b.Jump(join)
+	b.SwitchTo(pre)
+	b.Branch(rScratch0, then, els)
+	b.SwitchTo(join)
+}
+
+// call emits a helper invocation feeding the accumulator through it.
+func (g *gen) call() {
+	b := g.b
+	b.Mov(isa.ArgReg(0), rAcc)
+	// Scratch address: a fixed per-thread slot.
+	b.MulImm(rScratch0, rTID, 8)
+	b.AddImm(rScratch0, rScratch0, int64(SharedBase+4096))
+	b.Mov(isa.ArgReg(1), rScratch0)
+	b.Call(1, 2)
+	b.Add(rAcc, rAcc, isa.RetReg)
+}
+
+// critical emits a lock-protected commutative update of shared counters —
+// the happens-before pattern of Figure 4.
+func (g *gen) critical() {
+	b := g.b
+	b.LockAcquire(rShared, 0)
+	n := 2 + g.r.Intn(2)
+	for i := 0; i < n; i++ {
+		off := int64(8 * (1 + g.r.Intn(4)))
+		b.Load(rScratch2, rShared, off)
+		b.AddImm(rScratch2, rScratch2, int64(1+g.r.Intn(9)))
+		b.Store(rShared, off, rScratch2)
+	}
+	b.LockRelease(rShared, 0)
+}

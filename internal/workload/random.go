@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lightwsp/internal/isa"
+)
+
+// RandomProgram generates a structurally random but always-valid program:
+// store runs, ALU chains, self-loops, branch diamonds, helper calls and
+// fences in random order. It is the fuzz fodder for the end-to-end
+// crash-consistency property tests — every generated program must satisfy
+// "crash anywhere + recover ≡ failure-free" under LightWSP.
+//
+// Programs are single-threaded and deterministic for a given seed.
+func RandomProgram(seed int64) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("random")
+	nLeaf := 1 + r.Intn(2)
+	b.Func("main")
+	b.MovImm(1, 0x10000+int64(r.Intn(64))*8) // base pointer
+	b.MovImm(2, int64(1+r.Intn(100)))
+	segs := 3 + r.Intn(8)
+	for s := 0; s < segs; s++ {
+		switch r.Intn(7) {
+		case 0: // store run
+			n := 1 + r.Intn(24)
+			for i := 0; i < n; i++ {
+				b.Store(1, int64(8*i), 2)
+				b.AddImm(2, 2, int64(r.Intn(5)))
+			}
+		case 1: // ALU chain
+			for i := 0; i < 2+r.Intn(8); i++ {
+				b.MulImm(2, 2, int64(1+r.Intn(7)))
+				b.AddImm(3, 2, int64(i))
+			}
+		case 2: // self-loop with stores and an evolving pointer
+			b.MovImm(4, 0)
+			b.MovImm(5, int64(2+r.Intn(24)))
+			loop := b.NewBlock()
+			b.Store(1, 0, 4)
+			b.AddImm(1, 1, 8)
+			b.AddImm(4, 4, 1)
+			b.CmpLT(6, 4, 5)
+			next := loop + 1
+			b.Branch(6, loop, next)
+			b.NewBlock()
+			b.SwitchTo(loop - 1)
+			b.Jump(loop)
+			b.SwitchTo(next)
+		case 3: // fence (implicit hardware boundary)
+			b.Fence()
+		case 4: // diamond with stores on both arms
+			b.MovImm(6, int64(r.Intn(2)))
+			pre := b.CurrentBlock()
+			then := b.NewBlock()
+			b.AddImm(2, 2, 17)
+			b.Store(1, 16, 2)
+			b.Jump(then + 2)
+			els := b.NewBlock()
+			b.MulImm(2, 2, 3)
+			b.Store(1, 24, 2)
+			b.Jump(els + 1)
+			join := b.NewBlock()
+			b.SwitchTo(pre)
+			b.Branch(6, then, els)
+			b.SwitchTo(join)
+		case 5: // call a leaf: args are (accumulator, base pointer)
+			b.Mov(8, 1) // save the base across the argument shuffle
+			b.Mov(isa.ArgReg(0), 2)
+			b.Mov(isa.ArgReg(1), 8)
+			b.Call(1+r.Intn(nLeaf), 2)
+			b.Mov(2, isa.RetReg) // acc = leaf(acc)
+			b.Mov(1, 8)          // restore the base pointer
+		case 6: // atomic update (implicit boundary + store)
+			b.AtomicAdd(7, 1, 32, 2)
+		}
+	}
+	// Publish the accumulator so the whole computation is observable.
+	b.MovImm(9, 0x9000)
+	b.Store(9, 0, 2)
+	b.Halt()
+	for i := 0; i < nLeaf; i++ {
+		b.Func("leaf")
+		n := r.Intn(6)
+		for j := 0; j < n; j++ {
+			b.Store(isa.ArgReg(1), int64(8*(j+8)), isa.ArgReg(0))
+		}
+		b.MulImm(0, isa.ArgReg(0), int64(2+i))
+		b.AddImm(0, 0, 1)
+		b.Ret(0)
+	}
+	p, err := b.Build()
+	if err != nil {
+		// The generator only emits structurally valid programs; a build
+		// failure is a bug in the generator itself.
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,426 @@
+// Package wpq models the battery-backed write pending queue that LightWSP
+// repurposes as a redo buffer (§III-A), together with the per-controller
+// protocol state of lazy region-level persist ordering (§IV-B): the
+// persistent flush ID register, boundary bookkeeping, the bdry-ACK /
+// flush-ACK exchange, the load-miss CAM search (§IV-H), and the
+// deadlock-escape overflow path with undo logging (§IV-D).
+//
+// Two modes are provided. Gated is LightWSP's: entries are quarantined until
+// their region's boundary has reached every controller, then flushed to PM
+// strictly in region order. FIFO is the pass-through used by the baseline
+// persistence schemes (Capri, PPA, cWSP), which enforce ordering elsewhere
+// (core stalls or speculation): entries flush in arrival order at PM write
+// bandwidth.
+package wpq
+
+import (
+	"fmt"
+
+	"lightwsp/internal/mem"
+	"lightwsp/internal/noc"
+)
+
+// Mode selects the queue's flush discipline.
+type Mode int
+
+const (
+	// Gated quarantines entries per region and flushes in region order
+	// (LightWSP's LRPO).
+	Gated Mode = iota
+	// FIFO flushes entries in arrival order.
+	FIFO
+)
+
+// Entry is one 8-byte quarantined store.
+type Entry struct {
+	Addr, Val uint64
+	Region    uint64
+	Boundary  bool
+	Core      int
+	// Born is the cycle the entry entered the persist path.
+	Born uint64
+}
+
+// Config parameterizes one controller's queue.
+type Config struct {
+	// ID is this controller's index; NumMCs the total count.
+	ID, NumMCs int
+	// Entries is the queue capacity (Table I: 64 × 8 B = 512 B).
+	Entries int
+	// Mode is the flush discipline.
+	Mode Mode
+	// PMWriteInterval is the cycles between successive 8-byte PM writes
+	// (the PM write-bandwidth model).
+	PMWriteInterval uint64
+	// PMWriteExtra is added to every PM write; cWSP's in-line undo
+	// logging cost (§II-C2) uses it.
+	PMWriteExtra uint64
+	// FirstRegion is the region ID the flush ID register starts at.
+	FirstRegion uint64
+}
+
+// Sinks are the callbacks the queue drives.
+type Sinks struct {
+	// PMWrite persists one word.
+	PMWrite func(addr, val uint64)
+	// PMRead reads one persisted word (for undo logging).
+	PMRead func(addr uint64) uint64
+	// Send transmits a protocol message to another controller.
+	Send func(m noc.Message)
+	// OnFlush is invoked when an entry reaches PM (per-core outstanding
+	// accounting); it may be nil.
+	OnFlush func(e Entry)
+}
+
+// Queue is one memory controller's WPQ plus LRPO protocol state.
+type Queue struct {
+	cfg   Config
+	sinks Sinks
+
+	entries []Entry
+
+	// flushID is the latest unpersisted region (a 2-byte persistent
+	// register in real hardware, §IV-B). The paper's hardware encodes
+	// region IDs in 16 unused address bits and would compare them with
+	// wraparound-aware modular arithmetic; the simulation uses 64-bit IDs
+	// directly, which never wrap over any feasible run length, so plain
+	// comparisons are exact here.
+	flushID uint64
+
+	bdryRcvd  map[uint64]bool
+	bdryAcks  map[uint64]int
+	flushAcks map[uint64]int
+
+	busyUntil uint64
+
+	// Overflow escape state (§IV-D).
+	overflow  bool
+	undoCount int
+
+	// Statistics.
+	Flushed      uint64 // entries written to PM
+	Committed    uint64 // regions committed at this controller
+	CAMHits      uint64 // load-miss WPQ hits (§IV-H)
+	CAMSearches  uint64
+	Deadlocks    uint64 // overflow-escape activations
+	UndoWrites   uint64 // undo-logged PM writes
+	FullRejects  uint64 // entries declined because the queue was full
+	MaxOccupancy int
+}
+
+// New builds a queue.
+func New(cfg Config, sinks Sinks) *Queue {
+	if cfg.FirstRegion == 0 {
+		cfg.FirstRegion = 1
+	}
+	return &Queue{
+		cfg:       cfg,
+		sinks:     sinks,
+		flushID:   cfg.FirstRegion,
+		bdryRcvd:  map[uint64]bool{},
+		bdryAcks:  map[uint64]int{},
+		flushAcks: map[uint64]int{},
+	}
+}
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// FlushID returns the latest unpersisted region at this controller.
+func (q *Queue) FlushID() uint64 { return q.flushID }
+
+// InOverflow reports whether the deadlock-escape path is active.
+func (q *Queue) InOverflow() bool { return q.overflow }
+
+// Empty reports whether no entries are pending.
+func (q *Queue) Empty() bool { return len(q.entries) == 0 }
+
+// Search performs the CAM lookup of §IV-H for an LLC load miss: it reports
+// whether addr has a quarantined entry (whose value is newer than PM's).
+func (q *Queue) Search(addr uint64) bool {
+	q.CAMSearches++
+	for i := range q.entries {
+		if q.entries[i].Addr == addr {
+			q.CAMHits++
+			return true
+		}
+	}
+	return false
+}
+
+// recordBoundary notes that region r's boundary reached this controller and
+// acknowledges it to every other controller.
+func (q *Queue) recordBoundary(r uint64) {
+	if q.bdryRcvd[r] {
+		return
+	}
+	q.bdryRcvd[r] = true
+	for m := 0; m < q.cfg.NumMCs; m++ {
+		if m != q.cfg.ID {
+			q.sinks.Send(noc.Message{Kind: noc.MsgBdryAck, Region: r, From: q.cfg.ID, To: m})
+		}
+	}
+	if q.overflow && r == q.flushID {
+		// The awaited boundary arrived; the escape path ends and the
+		// region completes through the normal protocol.
+		q.overflow = false
+	}
+}
+
+// AcceptControl ingests a boundary replica that carries no data (delivered
+// to a non-home controller). It always succeeds: control messages need no
+// queue slot.
+func (q *Queue) AcceptControl(region uint64) {
+	if q.cfg.Mode == Gated {
+		q.recordBoundary(region)
+	}
+}
+
+// Accept tries to ingest a data entry. false means the persist-path channel
+// must retry later (queue full, or overflow mode declining other regions'
+// stores).
+func (q *Queue) Accept(e Entry) bool {
+	full := len(q.entries) >= q.cfg.Entries
+	if q.cfg.Mode == Gated && full && !q.bdryRcvd[q.flushID] && !q.overflow {
+		// Deadlock: the queue is full and cannot receive the boundary
+		// its oldest entries wait for (§IV-D).
+		q.overflow = true
+		q.Deadlocks++
+	}
+	if q.cfg.Mode == Gated && q.overflow {
+		// §IV-D: during overflow, only the currently persisting
+		// region's stores are accepted — and those are accepted even
+		// beyond capacity ("exceptionally lets the WPQ overflow"),
+		// since the escape path is actively draining them with their
+		// pre-images undo-logged. In particular the region's boundary
+		// must be able to enter, or the system could never leave
+		// overflow. The excess is bounded by the compiler's per-region
+		// store threshold.
+		if e.Region != q.flushID {
+			q.FullRejects++
+			return false
+		}
+	} else if full {
+		q.FullRejects++
+		return false
+	}
+	q.entries = append(q.entries, e)
+	if len(q.entries) > q.MaxOccupancy {
+		q.MaxOccupancy = len(q.entries)
+	}
+	if e.Boundary && q.cfg.Mode == Gated {
+		q.recordBoundary(e.Region)
+	}
+	return true
+}
+
+// OnMessage ingests a protocol message from another controller.
+func (q *Queue) OnMessage(m noc.Message) {
+	if q.cfg.Mode != Gated {
+		return
+	}
+	if m.Region < q.flushID {
+		return // stale bookkeeping for an already-committed region
+	}
+	switch m.Kind {
+	case noc.MsgBdryAck:
+		q.bdryAcks[m.Region]++
+	case noc.MsgFlushAck:
+		q.flushAcks[m.Region]++
+	case noc.MsgBoundary:
+		q.recordBoundary(m.Region)
+	}
+}
+
+// canFlush reports whether region r's quarantine may open: its boundary
+// reached this controller and every other controller acknowledged it.
+func (q *Queue) canFlush(r uint64) bool {
+	return q.bdryRcvd[r] && q.bdryAcks[r] >= q.cfg.NumMCs-1
+}
+
+// Tick advances the queue one cycle.
+func (q *Queue) Tick(now uint64) {
+	if q.cfg.Mode == FIFO {
+		q.tickFIFO(now)
+		return
+	}
+	q.tickGated(now)
+}
+
+func (q *Queue) tickFIFO(now uint64) {
+	if now < q.busyUntil || len(q.entries) == 0 {
+		return
+	}
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	q.writePM(e)
+	q.busyUntil = now + q.cfg.PMWriteInterval + q.cfg.PMWriteExtra
+}
+
+// tickGated advances the LRPO flush pipeline. The flush ID walks regions in
+// order; region r's entries flush to PM once r is globally confirmed (its
+// boundary reached every controller — canFlush) and every older region's
+// local entries are already flushed (the serial walk guarantees this). The
+// controller does not wait for other controllers' flush progress: once a
+// region is boundary-confirmed it is guaranteed durable — its remaining
+// entries sit in battery-backed WPQs that the §IV-F drain protocol flushes
+// even across a power failure — so per-controller flushing pipelines across
+// regions and the ACK latency stays completely off the critical path, which
+// is what lets LRPO hide the persistence latency (§III-B). Flush-ACKs are
+// still exchanged as the paper describes; they serve as bookkeeping (and
+// statistics) rather than as a flush precondition.
+func (q *Queue) tickGated(now uint64) {
+	if now < q.busyUntil {
+		return
+	}
+	// Advance through committable regions. Regions with no local entries
+	// are pure register increments, so several can retire per cycle (the
+	// fast-forward bound models the flush-ID update logic's throughput);
+	// flushing a data entry occupies the PM write port and ends the turn.
+	for hop := 0; hop < 4; hop++ {
+		fid := q.flushID
+		if !q.canFlush(fid) {
+			break
+		}
+		if i := q.findRegion(fid); i >= 0 {
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.writePM(e)
+			q.busyUntil = now + q.cfg.PMWriteInterval
+			return
+		}
+		// Locally complete: announce and advance to the next region.
+		for m := 0; m < q.cfg.NumMCs; m++ {
+			if m != q.cfg.ID {
+				q.sinks.Send(noc.Message{Kind: noc.MsgFlushAck, Region: fid, From: q.cfg.ID, To: m})
+			}
+		}
+		q.commit(fid)
+	}
+	if q.overflow {
+		// Escape path: flush the oldest region's entries with their
+		// pre-images undo-logged, so recovery can revert them if the
+		// boundary never arrives (§IV-D).
+		if i := q.findRegion(q.flushID); i >= 0 {
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.undoLog(e.Addr)
+			q.writePM(e)
+			q.busyUntil = now + q.cfg.PMWriteInterval + q.cfg.PMWriteExtra + q.cfg.PMWriteInterval
+		}
+	}
+}
+
+func (q *Queue) findRegion(r uint64) int {
+	for i := range q.entries {
+		if q.entries[i].Region == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func (q *Queue) writePM(e Entry) {
+	q.sinks.PMWrite(e.Addr, e.Val)
+	q.Flushed++
+	if q.sinks.OnFlush != nil {
+		q.sinks.OnFlush(e)
+	}
+}
+
+// Undo-log layout in PM: header word (record count) followed by
+// (address, old value) pairs. The log is written before the data (write
+// ahead), and invalidated by zeroing the header when its region commits.
+func (q *Queue) undoBase() uint64 { return mem.UndoLogAddr(q.cfg.ID, 0) }
+
+func (q *Queue) undoLog(addr uint64) {
+	old := q.sinks.PMRead(addr)
+	base := q.undoBase()
+	rec := base + 8 + uint64(q.undoCount)*16
+	q.sinks.PMWrite(rec, addr)
+	q.sinks.PMWrite(rec+8, old)
+	q.undoCount++
+	q.sinks.PMWrite(base, uint64(q.undoCount))
+	q.UndoWrites++
+}
+
+func (q *Queue) commit(fid uint64) {
+	if q.undoCount > 0 {
+		// The region completed: its undo records are obsolete.
+		q.sinks.PMWrite(q.undoBase(), 0)
+		q.undoCount = 0
+	}
+	delete(q.bdryRcvd, fid)
+	delete(q.bdryAcks, fid)
+	delete(q.flushAcks, fid)
+	q.flushID++
+	q.Committed++
+}
+
+// DrainStep implements one round of the controller side of the power-failure
+// protocol (§IV-F): with cores dead and in-flight MC↔MC ACKs delivered, it
+// flushes the entries of every region whose boundary provably reached all
+// controllers, exchanging ACKs instantly over battery power (exchange must
+// deliver a message to its destination queue synchronously). It returns
+// whether it made progress; the orchestrator keeps stepping all controllers
+// until none does — a flush-ACK from one controller can unblock a commit at
+// another.
+func (q *Queue) DrainStep(exchange func(m noc.Message)) (progress bool) {
+	if q.cfg.Mode != Gated {
+		return false
+	}
+	saved := q.sinks.Send
+	q.sinks.Send = exchange
+	defer func() { q.sinks.Send = saved }()
+	for q.canFlush(q.flushID) {
+		fid := q.flushID
+		for {
+			i := q.findRegion(fid)
+			if i < 0 {
+				break
+			}
+			e := q.entries[i]
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			q.writePM(e)
+			progress = true
+		}
+		for m := 0; m < q.cfg.NumMCs; m++ {
+			if m != q.cfg.ID {
+				exchange(noc.Message{Kind: noc.MsgFlushAck, Region: fid, From: q.cfg.ID, To: m})
+			}
+		}
+		q.commit(fid)
+		progress = true
+	}
+	return progress
+}
+
+// Discard drops the remaining entries — the stores of unpersisted regions,
+// which "naturally disappear with the power failure" (§III-E). It returns
+// how many were dropped.
+func (q *Queue) Discard() int {
+	n := len(q.entries)
+	q.entries = nil
+	return n
+}
+
+// RecoverUndo rolls back any undo-logged overflow writes whose region never
+// committed, reading the log from PM and restoring pre-images in reverse
+// order (§IV-D). It returns the number of records rolled back.
+func RecoverUndo(mcID int, pmRead func(uint64) uint64, pmWrite func(addr, val uint64)) int {
+	base := mem.UndoLogAddr(mcID, 0)
+	count := int(pmRead(base))
+	for i := count - 1; i >= 0; i-- {
+		rec := base + 8 + uint64(i)*16
+		addr := pmRead(rec)
+		old := pmRead(rec + 8)
+		pmWrite(addr, old)
+	}
+	pmWrite(base, 0)
+	return count
+}
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("wpq[mc%d mode=%d len=%d flushID=%d overflow=%v]",
+		q.cfg.ID, q.cfg.Mode, len(q.entries), q.flushID, q.overflow)
+}

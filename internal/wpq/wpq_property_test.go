@@ -1,0 +1,173 @@
+package wpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"lightwsp/internal/mem"
+	"lightwsp/internal/noc"
+)
+
+// TestGatedPrefixPropertyRandomized drives a 2-controller gated WPQ pair
+// with randomized store streams from several "cores" and verifies, at a
+// random power-failure point, the central redo-buffer property: the set of
+// regions whose stores reached PM is exactly a prefix of the region
+// sequence (DESIGN.md invariant 1), and a region's stores are in PM
+// all-or-nothing.
+func TestGatedPrefixPropertyRandomized(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		p := newPair(t, 8+r.Intn(16))
+
+		// Build a random region schedule: regions 1..N, each with 1..6
+		// stores to random addresses, interleaved across two cores with
+		// NUMA-skewed delivery order but per-region in-order arrival.
+		type ev struct {
+			mc    int
+			e     Entry
+			ctl   bool
+			after int // earliest step it may be delivered
+		}
+		var evs []ev
+		nRegions := 3 + r.Intn(8)
+		step := 0
+		regionStores := map[uint64][]uint64{}
+		for reg := uint64(1); reg <= uint64(nRegions); reg++ {
+			n := 1 + r.Intn(6)
+			for i := 0; i < n; i++ {
+				addr := uint64(0x1000 + 8*r.Intn(512))
+				mc := r.Intn(2)
+				evs = append(evs, ev{mc: mc, e: Entry{Addr: addr, Val: reg*1000 + uint64(i), Region: reg}, after: step})
+				regionStores[reg] = append(regionStores[reg], addr)
+				step++
+			}
+			// Boundary: data copy at a random home, control at the other.
+			home := r.Intn(2)
+			bAddr := mem.CkptAddr(0, mem.CkptSlotPC)
+			evs = append(evs, ev{mc: home, e: Entry{Addr: bAddr, Val: reg, Region: reg, Boundary: true}, after: step})
+			evs = append(evs, ev{mc: 1 - home, ctl: true, e: Entry{Region: reg}, after: step})
+			step++
+		}
+
+		// Deliver with random skew: each event delayed by a random number
+		// of pump steps past its earliest point, preserving per-(region)
+		// order because `after` is monotone per region and we only ever
+		// deliver in `after+jitter` order per controller... simpler: we
+		// deliver events in order but pump a random number of cycles
+		// between deliveries, and cut power at a random moment.
+		cut := r.Intn(len(evs) + 1)
+		now := uint64(0)
+		for i, e := range evs {
+			if i == cut {
+				break
+			}
+			if e.ctl {
+				p.q[e.mc].AcceptControl(e.e.Region)
+			} else {
+				for !p.q[e.mc].Accept(e.e) {
+					now++
+					p.pump(now)
+				}
+			}
+			for k := 0; k < r.Intn(4); k++ {
+				now++
+				p.pump(now)
+			}
+		}
+		// Power failure: drain committable, discard the rest.
+		exchange := func(m noc.Message) { p.q[m.To].OnMessage(m) }
+		for _, m := range p.net {
+			p.q[m.To].OnMessage(m)
+		}
+		p.net = nil
+		for {
+			progress := false
+			for i := range p.q {
+				progress = p.q[i].DrainStep(exchange) || progress
+			}
+			if !progress {
+				break
+			}
+		}
+		for i := range p.q {
+			p.q[i].Discard()
+		}
+
+		// Verify: per-region all-or-nothing, and persisted set = prefix.
+		persisted := map[uint64]bool{}
+		for reg := uint64(1); reg <= uint64(nRegions); reg++ {
+			n, total := 0, 0
+			seen := map[uint64]uint64{}
+			for i, addr := range regionStores[reg] {
+				total++
+				want := reg*1000 + uint64(i)
+				got := p.pm.Read(addr)
+				// Later regions may overwrite the address; accept any
+				// value from a region ≥ reg as evidence of persistence.
+				if got == want || (got/1000) > reg && got != 0 {
+					n++
+				}
+				seen[addr] = got
+			}
+			_ = seen
+			switch {
+			case n == total:
+				persisted[reg] = true
+			case n == 0:
+				persisted[reg] = false
+			default:
+				// Mixed: only legal if every "missing" address was
+				// overwritten by a later persisted region — conservative
+				// approximation: require the flush IDs to cover reg.
+				if p.q[0].FlushID() <= reg && p.q[1].FlushID() <= reg {
+					t.Fatalf("trial %d: region %d partially persisted (%d/%d)", trial, reg, n, total)
+				}
+				persisted[reg] = true
+			}
+		}
+		// Prefix check.
+		broken := false
+		for reg := uint64(1); reg <= uint64(nRegions); reg++ {
+			if !persisted[reg] {
+				broken = true
+			} else if broken {
+				t.Fatalf("trial %d: region %d persisted after an unpersisted predecessor", trial, reg)
+			}
+		}
+	}
+}
+
+// TestFIFOModeNeverGates randomly fills a FIFO queue and checks every entry
+// reaches PM in arrival order without any boundary traffic.
+func TestFIFOModeNeverGates(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	pm := mem.NewImage()
+	var order []uint64
+	q := New(Config{ID: 0, NumMCs: 1, Entries: 8, Mode: FIFO, PMWriteInterval: 1},
+		Sinks{
+			PMWrite: func(a, v uint64) { pm.Write(a, v) },
+			PMRead:  pm.Read,
+			Send:    func(noc.Message) {},
+			OnFlush: func(e Entry) { order = append(order, e.Val) },
+		})
+	now := uint64(0)
+	for i := 0; i < 100; i++ {
+		e := Entry{Addr: uint64(0x1000 + 8*i), Val: uint64(i + 1), Region: uint64(r.Intn(5))}
+		for !q.Accept(e) {
+			now++
+			q.Tick(now)
+		}
+	}
+	for !q.Empty() {
+		now++
+		q.Tick(now)
+	}
+	if len(order) != 100 {
+		t.Fatalf("flushed %d entries", len(order))
+	}
+	for i, v := range order {
+		if v != uint64(i+1) {
+			t.Fatalf("FIFO order broken at %d: %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package lightwsp is a from-scratch reproduction of "LightWSP: Whole-System
+// Persistence on the Cheap" (Zhou, Zeng, Jung — MICRO 2024): a
+// compiler/architecture co-design that persists every store of a program —
+// transparently, with DRAM usable as a last-level cache over non-volatile
+// main memory — by partitioning execution into recoverable regions whose
+// stores are quarantined in the memory controllers' battery-backed write
+// pending queues and flushed failure-atomically, strictly in region order
+// (lazy region-level persist ordering).
+//
+// The package is a façade over the full system:
+//
+//   - a register-machine IR and program builder (internal/isa),
+//   - the LightWSP compiler — region partitioning, live-out register
+//     checkpointing, speculative loop unrolling, checkpoint pruning
+//     (internal/compiler),
+//   - a deterministic cycle-stepped multicore simulator with the paper's
+//     Table I configuration: persist paths, gated WPQs, DRAM cache, PM
+//     (internal/machine and friends),
+//   - power-failure injection and the §IV-F recovery protocol
+//     (internal/recovery),
+//   - the comparison schemes Capri, PPA, cWSP, ideal PSP
+//     (internal/baseline),
+//   - synthetic stand-ins for the paper's 38 evaluation applications
+//     (internal/workload) and one experiment driver per figure/table
+//     (internal/experiments).
+//
+// Quickstart:
+//
+//	b := lightwsp.NewProgramBuilder("hello")
+//	b.Func("main")
+//	b.MovImm(1, 0x1000)
+//	b.MovImm(2, 42)
+//	b.Store(1, 0, 2)
+//	b.Halt()
+//	prog, _ := b.Build()
+//
+//	rt, _ := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+//	res, _ := rt.RunWithFailure(500, 1_000_000) // cut power at cycle 500
+//	fmt.Println(res.Recovered.PM().Read(0x1000)) // 42, recovered
+package lightwsp
+
+import (
+	"lightwsp/internal/baseline"
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/core"
+	"lightwsp/internal/isa"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/recovery"
+	"lightwsp/internal/workload"
+)
+
+// Config is the machine configuration; DefaultConfig mirrors Table I of the
+// paper (8 wide-issue cores at 2 GHz, 64 KB L1, 16 MB L2, 4 GB direct-mapped
+// DRAM cache, 32 GB PM at 175/90 ns, two memory controllers with 64-entry
+// 8-byte-granular WPQs, a 4 GB/s persist path per core).
+type Config = machine.Config
+
+// DefaultConfig returns the Table I system.
+func DefaultConfig() Config { return machine.DefaultConfig() }
+
+// CompilerConfig controls region partitioning; the zero value uses the
+// paper's defaults (store threshold = half the WPQ, 4x loop unrolling).
+type CompilerConfig = compiler.Config
+
+// CompileResult is a compiled program plus its recovery metadata (checkpoint
+// pruning recipes) and static statistics.
+type CompileResult = compiler.Result
+
+// Program is a register-machine program; see Builder for construction.
+type Program = isa.Program
+
+// Builder assembles Programs instruction by instruction.
+type Builder = isa.Builder
+
+// NewProgramBuilder returns an empty program builder.
+func NewProgramBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// Runtime binds a compiled program to a machine configuration and drives
+// runs, power failures and recoveries.
+type Runtime = core.Runtime
+
+// CrashResult reports a crash/recover round trip.
+type CrashResult = core.CrashResult
+
+// System is a booted machine instance.
+type System = machine.System
+
+// Stats are one run's measurements.
+type Stats = machine.Stats
+
+// Scheme describes a persistence mechanism's hardware behaviour.
+type Scheme = machine.Scheme
+
+// Image is a sparse memory image (the persisted PM state).
+type Image = mem.Image
+
+// New compiles prog for LightWSP and returns a Runtime. A zero ccfg uses
+// the paper's compiler defaults.
+func New(prog *Program, ccfg CompilerConfig, cfg Config) (*Runtime, error) {
+	return core.NewRuntime(prog, ccfg, cfg)
+}
+
+// Compile runs only the LightWSP compiler (region partitioning +
+// checkpointing) without building a machine.
+func Compile(prog *Program, ccfg CompilerConfig) (*CompileResult, error) {
+	if ccfg.StoreThreshold == 0 {
+		ccfg = compiler.DefaultConfig()
+	}
+	return compiler.Compile(prog, ccfg)
+}
+
+// LightWSPScheme returns the paper's scheme: 8-byte persist path, gated
+// WPQ with lazy region-level persist ordering, DRAM cache enabled.
+func LightWSPScheme() Scheme { return core.Scheme() }
+
+// Comparison schemes from the paper's evaluation (§V).
+var (
+	// BaselineScheme is Optane memory mode: DRAM cache, no persistence.
+	BaselineScheme = baseline.Baseline
+	// CapriScheme is Capri [53]: 64-byte persist path, stop-at-boundary
+	// multi-controller ordering.
+	CapriScheme = baseline.Capri
+	// PPAScheme is PPA [108]: hardware regions with eager write-back and
+	// boundary stalls.
+	PPAScheme = baseline.PPA
+	// CWSPScheme is cWSP [110]: idempotent regions with memory-controller
+	// speculation and in-line undo logging.
+	CWSPScheme = baseline.CWSP
+	// PSPIdealScheme is an idealized partial-system persistence (no DRAM
+	// cache, free persistence).
+	PSPIdealScheme = baseline.PSPIdeal
+	// NaiveSfenceScheme is LightWSP without LRPO (sfence per region).
+	NaiveSfenceScheme = baseline.NaiveSfence
+)
+
+// NewSystem boots a machine running prog under an arbitrary scheme —
+// the low-level entry the comparison schemes use. For LightWSP itself,
+// prefer New, which also compiles and wires recovery metadata.
+func NewSystem(prog *Program, cfg Config, sch Scheme) (*System, error) {
+	return machine.NewSystem(prog, cfg, sch)
+}
+
+// VerifyEquivalence checks that two final persisted images agree on all
+// program data — the crash-consistency acceptance test.
+func VerifyEquivalence(got, want *Image) error {
+	return recovery.VerifyEquivalence(got, want)
+}
+
+// WorkloadProfile describes one synthetic stand-in for a paper benchmark.
+type WorkloadProfile = workload.Profile
+
+// Workloads returns the 38-application evaluation set of Figure 7.
+func Workloads() []WorkloadProfile { return workload.Profiles() }
+
+// BuildWorkload synthesizes a profile's program deterministically.
+func BuildWorkload(p WorkloadProfile) (*Program, error) { return workload.Build(p) }

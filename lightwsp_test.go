@@ -1,0 +1,117 @@
+package lightwsp_test
+
+import (
+	"testing"
+
+	"lightwsp"
+)
+
+// TestQuickstart exercises the façade the way README.md shows it.
+func TestQuickstart(t *testing.T) {
+	b := lightwsp.NewProgramBuilder("hello")
+	b.Func("main")
+	b.MovImm(1, 0x1000)
+	b.MovImm(2, 42)
+	b.Store(1, 0, 2)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rt.RunToCompletion(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.PM().Read(0x1000); got != 42 {
+		t.Fatalf("persisted value = %d, want 42", got)
+	}
+}
+
+func TestFacadeCrashRecover(t *testing.T) {
+	b := lightwsp.NewProgramBuilder("crash")
+	b.Func("main")
+	b.MovImm(1, 0x2000)
+	b.MovImm(3, 0)
+	b.MovImm(4, 50)
+	loop := b.NewBlock()
+	b.Store(1, 0, 3)
+	b.AddImm(1, 1, 8)
+	b.AddImm(3, 3, 1)
+	b.CmpLT(5, 3, 4)
+	b.Branch(5, loop, loop+1)
+	b.NewBlock()
+	b.Halt()
+	b.SwitchTo(0)
+	b.Jump(loop)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := rt.RunToCompletion(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.RunWithFailure(clean.Stats.Cycles/2, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Failed {
+		t.Fatal("failure not injected")
+	}
+	if err := lightwsp.VerifyEquivalence(res.Recovered.PM(), clean.PM()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCompileOnly(t *testing.T) {
+	b := lightwsp.NewProgramBuilder("c")
+	b.Func("main")
+	b.MovImm(1, 0x1000)
+	for i := 0; i < 80; i++ {
+		b.Store(1, int64(8*i), 1)
+	}
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lightwsp.Compile(prog, lightwsp.CompilerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Boundaries < 3 {
+		t.Fatalf("boundaries = %d", res.Stats.Boundaries)
+	}
+}
+
+func TestFacadeSchemesRun(t *testing.T) {
+	p, err := lightwsp.BuildWorkload(lightwsp.Workloads()[2]) // hmmer
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sch := range []lightwsp.Scheme{
+		lightwsp.BaselineScheme(), lightwsp.PSPIdealScheme(), lightwsp.PPAScheme(),
+	} {
+		sys, err := lightwsp.NewSystem(p, lightwsp.DefaultConfig(), sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sys.Run(500_000_000) {
+			t.Fatalf("%s did not complete", sch.Name)
+		}
+	}
+}
+
+func TestWorkloadsComplete(t *testing.T) {
+	if got := len(lightwsp.Workloads()); got != 39 {
+		t.Fatalf("workloads = %d, want 39", got)
+	}
+}
