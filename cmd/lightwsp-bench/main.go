@@ -1,28 +1,72 @@
 // Command lightwsp-bench runs the paper's evaluation experiments and prints
-// each reproduced table or figure. With no arguments it runs everything;
-// otherwise arguments name the experiments to run (fig7 fig8 fig9 fig10
-// fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 tab2 regions hwcost
-// recovery).
+// each reproduced table or figure. With no positional arguments it runs
+// everything; otherwise arguments name the experiments to run (fig7 fig8
+// fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 tab2 regions
+// hwcost recovery ablation-lrpo ablation-compiler).
+//
+// The evaluation grid is embarrassingly parallel: every driver declares its
+// run set up front and distinct simulations fan out across a worker pool
+// (-j, default GOMAXPROCS). With -cache DIR (or LIGHTWSP_CACHE_DIR set),
+// completed runs persist to disk and later invocations skip them entirely.
+// Parallelism and caching never change a reproduced number: results are
+// keyed by a canonical content hash and aggregated in deterministic order.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"lightwsp/internal/experiments"
 )
 
+// benchReport is the machine-readable summary written by -json: the
+// perf-trajectory record of one full invocation.
+type benchReport struct {
+	// TotalRuns is the number of distinct simulations resolved.
+	TotalRuns int `json:"total_runs"`
+	// FreshRuns is how many of those were actually simulated.
+	FreshRuns int `json:"fresh_runs"`
+	// DiskCacheHits is how many were loaded from the persistent cache.
+	DiskCacheHits int `json:"disk_cache_hits"`
+	// MemCacheHits counts Run calls served by the in-memory memo table.
+	MemCacheHits int `json:"mem_cache_hits"`
+	// Workers is the worker-pool size used.
+	Workers int `json:"workers"`
+	// WallSeconds is the end-to-end wall time of the invocation.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Experiments lists the experiments executed, in order.
+	Experiments []string `json:"experiments"`
+}
+
 func main() {
+	var (
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker-pool size")
+		cacheDir = flag.String("cache", os.Getenv(experiments.CacheDirEnv),
+			"persistent result-cache directory (empty disables; defaults to $"+experiments.CacheDirEnv+")")
+		verbose = flag.Bool("v", os.Getenv("BENCH_VERBOSE") != "",
+			"print one progress line per resolved run (run key, fresh/cached, wall time)")
+		jsonPath = flag.String("json", "",
+			"write a machine-readable run summary (e.g. BENCH_runner.json)")
+	)
+	flag.Parse()
+
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	for _, a := range flag.Args() {
 		want[a] = true
 	}
 	all := len(want) == 0
+
 	r := experiments.NewRunner()
-	if os.Getenv("BENCH_VERBOSE") != "" {
+	r.SetWorkers(*workers)
+	r.SetCacheDir(*cacheDir)
+	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
+
 	type exp struct {
 		name string
 		run  func() (fmt.Stringer, error)
@@ -47,16 +91,60 @@ func main() {
 		{"ablation-lrpo", func() (fmt.Stringer, error) { return experiments.AblationLRPO(r) }},
 		{"ablation-compiler", func() (fmt.Stringer, error) { return experiments.AblationCompiler(r) }},
 	}
+	known := map[string]bool{}
+	for _, e := range exps {
+		known[e.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid names:", name)
+			for _, e := range exps {
+				fmt.Fprintf(os.Stderr, " %s", e.name)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+	}
+
+	start := time.Now()
+	var ran []string
 	for _, e := range exps {
 		if !all && !want[e.name] {
 			continue
 		}
-		start := time.Now()
+		expStart := time.Now()
 		res, err := e.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(start).Seconds(), res)
+		ran = append(ran, e.name)
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(expStart).Seconds(), res)
+	}
+
+	c := r.Counters()
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "runner: %d distinct runs (%d fresh, %d from disk cache), %d memo hits, %d workers, %.1fs\n",
+			c.Fresh+c.DiskHits, c.Fresh, c.DiskHits, c.MemHits, *workers, time.Since(start).Seconds())
+	}
+	if *jsonPath != "" {
+		rep := benchReport{
+			TotalRuns:     c.Fresh + c.DiskHits,
+			FreshRuns:     c.Fresh,
+			DiskCacheHits: c.DiskHits,
+			MemCacheHits:  c.MemHits,
+			Workers:       *workers,
+			WallSeconds:   time.Since(start).Seconds(),
+			Experiments:   ran,
+		}
+		data, err := json.MarshalIndent(rep, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

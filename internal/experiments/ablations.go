@@ -52,6 +52,14 @@ type AblationLRPORow struct {
 
 // AblationLRPO runs the LRPO ablation.
 func AblationLRPO(r *Runner) (*AblationLRPOResult, error) {
+	var specs []RunSpec
+	for _, p := range ablationSet() {
+		specs = append(specs, slowdownSpecs(p, baseline.NaiveSfence(), compiler.Config{})...)
+		specs = append(specs, slowdownSpecs(p, LightWSP(), compiler.Config{})...)
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &AblationLRPOResult{}
 	var ns, ls []float64
 	for _, p := range ablationSet() {
@@ -107,6 +115,15 @@ func AblationCompiler(r *Runner) (*AblationCompilerResult, error) {
 		{"no-unroll", compiler.Config{StoreThreshold: 32, MaxUnroll: 1}},
 		{"no-combine", compiler.Config{StoreThreshold: 32, MaxUnroll: 4, DisableCombining: true}},
 		{"no-prune", compiler.Config{StoreThreshold: 32, MaxUnroll: 4, DisablePruning: true}},
+	}
+	var specs []RunSpec
+	for _, cfg := range configs {
+		for _, p := range ablationSet() {
+			specs = append(specs, slowdownSpecs(p, LightWSP(), cfg.cc)...)
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
 	}
 	res := &AblationCompilerResult{}
 	for _, cfg := range configs {

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"lightwsp/internal/machine"
+)
+
+// diskCache persists completed machine.Stats blobs as JSON files so
+// repeated bench/CLI invocations skip finished simulations. Files are named
+// by the SHA-256 content hash of the canonical run key; each entry embeds
+// the schema version and the full key, so a version bump, a truncated file
+// or a (theoretical) hash collision all read back as a miss — never as a
+// wrong result. The cache is best-effort: any I/O or decode failure simply
+// degrades to a fresh simulation.
+type diskCache struct {
+	dir string
+}
+
+// diskEntry is the on-disk JSON schema of one cached run.
+type diskEntry struct {
+	SchemaVersion int           `json:"schema_version"`
+	Key           string        `json:"key"`
+	Stats         machine.Stats `json:"stats"`
+}
+
+func newDiskCache(dir string) *diskCache {
+	return &diskCache{dir: dir}
+}
+
+func (d *diskCache) path(hash string) string {
+	return filepath.Join(d.dir, hash+".json")
+}
+
+// load returns the cached stats for the given canonical key, if present and
+// valid. Entries whose schema version or embedded key disagree are stale —
+// the key format changed under them — and are removed.
+func (d *diskCache) load(key, hash string) (*machine.Stats, bool) {
+	data, err := os.ReadFile(d.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.SchemaVersion != keySchemaVersion || e.Key != key {
+		os.Remove(d.path(hash))
+		return nil, false
+	}
+	st := e.Stats
+	return &st, true
+}
+
+// store persists one completed run, atomically (write to a temp file in the
+// same directory, then rename), so a crashed or concurrent writer can never
+// leave a half-written entry that a later load would trust.
+func (d *diskCache) store(key, hash string, st *machine.Stats) {
+	if err := os.MkdirAll(d.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(diskEntry{
+		SchemaVersion: keySchemaVersion,
+		Key:           key,
+		Stats:         *st,
+	}, "", "\t")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, hash+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, d.path(hash)); err != nil {
+		os.Remove(name)
+	}
+}
+
+// Scrub removes every entry in dir whose schema version is not current —
+// explicit invalidation for operators after a key-version bump. It returns
+// the number of files removed.
+func Scrub(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".json" {
+			continue
+		}
+		p := filepath.Join(dir, ent.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var e diskEntry
+		if err := json.Unmarshal(data, &e); err != nil || e.SchemaVersion != keySchemaVersion {
+			if err := os.Remove(p); err == nil {
+				removed++
+			}
+		}
+	}
+	return removed, nil
+}
+
+// String renders the cache location for progress output.
+func (d *diskCache) String() string { return fmt.Sprintf("diskcache(%s)", d.dir) }

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lightwsp/internal/baseline"
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/workload"
+)
+
+func cheapProfile(t *testing.T) workload.Profile {
+	t.Helper()
+	p, ok := workload.ByName(workload.CPU2006, "hmmer")
+	if !ok {
+		t.Fatal("hmmer profile missing")
+	}
+	return p
+}
+
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestDiskCacheWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	p := cheapProfile(t)
+
+	r1 := NewRunner()
+	r1.SetCacheDir(dir)
+	st1, err := r1.Run(p, baseline.Baseline(), compiler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := r1.Counters(); c.Fresh != 1 || c.DiskHits != 0 {
+		t.Fatalf("cold run counters = %+v, want one fresh run", c)
+	}
+	if len(cacheFiles(t, dir)) != 1 {
+		t.Fatal("fresh run not persisted to the cache dir")
+	}
+
+	// A second invocation (a new Runner, as a new process would build)
+	// must complete with zero fresh simulations and identical stats.
+	r2 := NewRunner()
+	r2.SetCacheDir(dir)
+	st2, err := r2.Run(p, baseline.Baseline(), compiler.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := r2.Counters(); c.Fresh != 0 || c.DiskHits != 1 {
+		t.Fatalf("warm run counters = %+v, want one disk hit and no fresh runs", c)
+	}
+	if !reflect.DeepEqual(*st1, *st2) {
+		t.Fatal("disk-cached stats differ from the fresh run")
+	}
+}
+
+func TestDiskCacheRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	p := cheapProfile(t)
+	r1 := NewRunner()
+	r1.SetCacheDir(dir)
+	if _, err := r1.Run(p, baseline.Baseline(), compiler.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("cache files = %d, want 1", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner()
+	r2.SetCacheDir(dir)
+	if _, err := r2.Run(p, baseline.Baseline(), compiler.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if c := r2.Counters(); c.Fresh != 1 || c.DiskHits != 0 {
+		t.Fatalf("corrupt entry served from cache: %+v", c)
+	}
+}
+
+func TestDiskCacheInvalidatesOldSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	p := cheapProfile(t)
+	r1 := NewRunner()
+	r1.SetCacheDir(dir)
+	if _, err := r1.Run(p, baseline.Baseline(), compiler.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	file := cacheFiles(t, dir)[0]
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.SchemaVersion = keySchemaVersion - 1
+	data, err = json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := NewRunner()
+	r2.SetCacheDir(dir)
+	if _, err := r2.Run(p, baseline.Baseline(), compiler.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if c := r2.Counters(); c.Fresh != 1 || c.DiskHits != 0 {
+		t.Fatalf("stale-version entry served from cache: %+v", c)
+	}
+}
+
+func TestScrubRemovesStaleEntries(t *testing.T) {
+	dir := t.TempDir()
+	stale, err := json.Marshal(diskEntry{SchemaVersion: keySchemaVersion - 1, Key: "old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stale.json"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := json.Marshal(diskEntry{SchemaVersion: keySchemaVersion, Key: "current"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "valid.json"), valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := Scrub(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("Scrub removed %d entries, want 1", removed)
+	}
+	if len(cacheFiles(t, dir)) != 1 {
+		t.Fatal("valid entry removed or stale entry kept")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/workload"
+)
+
+// keySchemaVersion stamps every run key. Bump it whenever the meaning of a
+// cached machine.Stats blob changes — a new simulator counter, a semantics
+// fix, a workload-generation change — and every in-memory and on-disk cache
+// entry is invalidated at once, because the version participates in both
+// the canonical key and its content hash.
+const keySchemaVersion = 1
+
+// runKey canonicalizes the full identity of one simulation: the workload
+// profile, the persistence scheme, the resolved machine configuration
+// (after mutators) and the resolved compiler configuration. Every field of
+// all four structs is serialized explicitly in a fixed order, so two equal
+// inputs always produce equal keys and any field change produces a distinct
+// key — unlike the fmt.Sprintf("%+v", cfg) key it replaces, which depended
+// on reflection order and formatting incidentals. TestRunKeyCoversAllFields
+// fails if a field is added to any of these structs without extending the
+// serialization here.
+func runKey(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d", keySchemaVersion)
+	fmt.Fprintf(&b, "|prof:%s/%s,sw=%d,lw=%d,aw=%d,sf=%v,ws=%d,hot=%v,br=%v,call=%d,thr=%d,crit=%d,seg=%d,iter=%d,mi=%t",
+		p.Suite, p.Name, p.StoreWeight, p.LoadWeight, p.ALUWeight, p.StoreFrac,
+		p.WorkingSet, p.HotFraction, p.Branchiness, p.CallEvery, p.Threads,
+		p.CritEvery, p.Segments, p.Iterations, p.MemoryIntensive)
+	fmt.Fprintf(&b, "|sch:%s,instr=%t,strip=%t,path=%t,eb=%d,gated=%t,stall=%t,hwrs=%d,pmx=%d,dram=%t",
+		sch.Name, sch.Instrumented, sch.StripCheckpoints, sch.UsePersistPath,
+		sch.EntryBytes, sch.GatedWPQ, sch.StallAtBoundary, sch.HWRegionStores,
+		sch.PMWriteExtra, sch.UseDRAMCache)
+	fmt.Fprintf(&b, "|cfg:cores=%d,iw=%d,sb=%d,l1=%d/%d/%d,l2=%d/%d/%d,dc=%d/%d,pm=%d/%d/%d,mcs=%d,wpq=%d,feb=%d,pb=%d/%d,pl=%d/%d,ch=%d,noc=%d,numa=%d,ooo=%d,vp=%d,thr=%d",
+		cfg.Cores, cfg.IssueWidth, cfg.SBEntries,
+		cfg.L1Size, cfg.L1Ways, cfg.L1Lat,
+		cfg.L2Size, cfg.L2Ways, cfg.L2Lat,
+		cfg.DRAMCacheSize, cfg.DRAMLat,
+		cfg.PMReadLat, cfg.PMWriteLat, cfg.PMWriteInterval,
+		cfg.NumMCs, cfg.WPQEntries, cfg.FEBEntries,
+		cfg.PersistBytesPerCredit, cfg.PersistCreditCycles,
+		cfg.PersistLatNear, cfg.PersistLatFar, cfg.ChannelCap,
+		cfg.NoCLat, cfg.NUMAExtra, cfg.OOOWindow,
+		int(cfg.VictimPolicy), cfg.Threads)
+	fmt.Fprintf(&b, "|ccfg:st=%d,unroll=%d,noprune=%t,nocomb=%t",
+		ccfg.StoreThreshold, ccfg.MaxUnroll, ccfg.DisablePruning, ccfg.DisableCombining)
+	return b.String()
+}
+
+// keyHash returns the hex SHA-256 content hash of a canonical run key: the
+// disk-cache filename and the short run identity shown in progress lines.
+func keyHash(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(h[:])
+}

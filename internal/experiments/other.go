@@ -28,6 +28,18 @@ type Fig18Result struct {
 // Fig18 measures the WPQ CAM hit rate.
 func Fig18(r *Runner) (*Fig18Result, error) {
 	sizes := []int{256, 128, 64}
+	var specs []RunSpec
+	for _, p := range workload.Profiles() {
+		for _, size := range sizes {
+			size := size
+			specs = append(specs, spec(p, LightWSP(),
+				compiler.Config{StoreThreshold: size / 2, MaxUnroll: 4},
+				func(c *machine.Config) { c.WPQEntries = size; c.FEBEntries = size }))
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Fig18Result{Sizes: sizes, PerSuite: map[workload.Suite][]float64{}}
 	totalHits := make([]uint64, len(sizes))
 	totalInsts := make([]uint64, len(sizes))
@@ -99,6 +111,15 @@ type RegionStatsResult struct {
 
 // RegionStats measures dynamic region statistics across all applications.
 func RegionStats(r *Runner) (*RegionStatsResult, error) {
+	var specs []RunSpec
+	for _, p := range workload.Profiles() {
+		specs = append(specs,
+			spec(p, baseline.Baseline(), compiler.Config{}),
+			spec(p, LightWSP(), compiler.Config{}))
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	var baseInsts, lightInsts, regions, regionInsts, regionStores uint64
 	for _, p := range workload.Profiles() {
 		b, err := r.Run(p, baseline.Baseline(), compiler.Config{})

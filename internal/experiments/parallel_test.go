@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lightwsp/internal/baseline"
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/workload"
+)
+
+// TestParallelRunnerSingleflight drives one shared Runner from many
+// goroutines requesting the same run: exactly one simulation may execute,
+// every caller must receive the same memoized result, and the remaining
+// calls must be accounted as in-memory hits.
+func TestParallelRunnerSingleflight(t *testing.T) {
+	r := NewRunner()
+	r.SetWorkers(4)
+	p := cheapProfile(t)
+	const callers = 6
+	var wg sync.WaitGroup
+	results := make([]*machine.Stats, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(p, baseline.Baseline(), compiler.Config{})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers received different result objects")
+		}
+	}
+	c := r.Counters()
+	if c.Fresh != 1 {
+		t.Fatalf("Fresh = %d, want 1 (singleflight must deduplicate)", c.Fresh)
+	}
+	if c.MemHits != callers-1 {
+		t.Fatalf("MemHits = %d, want %d", c.MemHits, callers-1)
+	}
+}
+
+// TestPrefetchDeduplicates hands Prefetch a spec list with duplicates —
+// including distinct mutator closures of identical effect — and expects one
+// simulation per distinct resolved configuration.
+func TestPrefetchDeduplicates(t *testing.T) {
+	r := NewRunner()
+	r.SetWorkers(4)
+	p := cheapProfile(t)
+	bump := func(c *machine.Config) { c.NUMAExtra = 12 }
+	bumpAgain := func(c *machine.Config) { c.NUMAExtra = 12 }
+	specs := []RunSpec{
+		spec(p, baseline.Baseline(), compiler.Config{}),
+		spec(p, baseline.Baseline(), compiler.Config{}),
+		spec(p, baseline.Baseline(), compiler.Config{}, bump),
+		spec(p, baseline.Baseline(), compiler.Config{}, bumpAgain),
+	}
+	if err := r.Prefetch(specs); err != nil {
+		t.Fatal(err)
+	}
+	if c := r.Counters(); c.Fresh != 2 {
+		t.Fatalf("Fresh = %d, want 2 distinct runs", c.Fresh)
+	}
+}
+
+// TestParallelSubsetMatchesSequential runs two drivers concurrently over
+// one shared parallel Runner and requires their rendered output to be
+// byte-identical to a workers=1 reference — the determinism guarantee on a
+// subset that runs on every `go test -race` pass. Race instrumentation
+// slows simulation by roughly an order of magnitude, so under the race
+// detector the drivers are a two-profile mini-grid (whose shared baseline
+// runs still cross driver boundaries, exercising singleflight); otherwise
+// they are the real AblationLRPO and Fig9 drivers.
+func TestParallelSubsetMatchesSequential(t *testing.T) {
+	type driver struct {
+		name string
+		run  func(*Runner) (string, error)
+	}
+	var drivers [2]driver
+	if raceEnabled {
+		profiles := []workload.Profile{cheapProfile(t)}
+		if p, ok := workload.ByName(workload.CPU2006, "bzip2"); ok {
+			profiles = append(profiles, p)
+		}
+		mini := func(sch machine.Scheme) func(*Runner) (string, error) {
+			return func(r *Runner) (string, error) {
+				var specs []RunSpec
+				for _, p := range profiles {
+					specs = append(specs, slowdownSpecs(p, sch, compiler.Config{})...)
+				}
+				if err := r.Prefetch(specs); err != nil {
+					return "", err
+				}
+				var out string
+				for _, p := range profiles {
+					s, err := r.Slowdown(p, sch, compiler.Config{})
+					if err != nil {
+						return "", err
+					}
+					out += fmt.Sprintf("%s %.9f\n", p.Name, s)
+				}
+				return out, nil
+			}
+		}
+		drivers[0] = driver{"mini-lightwsp", mini(LightWSP())}
+		drivers[1] = driver{"mini-naive-sfence", mini(baseline.NaiveSfence())}
+	} else {
+		drivers[0] = driver{"ablation-lrpo", func(r *Runner) (string, error) {
+			res, err := AblationLRPO(r)
+			if err != nil {
+				return "", err
+			}
+			return res.String(), nil
+		}}
+		drivers[1] = driver{"fig9", func(r *Runner) (string, error) {
+			res, err := Fig9(r)
+			if err != nil {
+				return "", err
+			}
+			return res.String(), nil
+		}}
+	}
+
+	seq := NewRunner()
+	seq.SetWorkers(1)
+	var want [2]string
+	for i, d := range drivers {
+		s, err := d.run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = s
+	}
+
+	par := NewRunner()
+	par.SetWorkers(8)
+	var got [2]string
+	var errs [2]error
+	var wg sync.WaitGroup
+	for i, d := range drivers {
+		wg.Add(1)
+		go func(i int, d driver) { defer wg.Done(); got[i], errs[i] = d.run(par) }(i, d)
+	}
+	wg.Wait()
+	for i, d := range drivers {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got[i] != want[i] {
+			t.Fatalf("parallel %s diverged from sequential:\n%s\nvs\n%s", d.name, got[i], want[i])
+		}
+	}
+}
+
+// TestParallelFig7Fig9MatchSequential is the full determinism check of the
+// parallel evaluation grid: concurrent Fig7+Fig9 over one shared Runner
+// must reproduce the sequential (workers=1) tables byte for byte. The full
+// Figure 7 grid is ~160 simulations, so under the race detector this test
+// defers to TestParallelSubsetMatchesSequential to keep the package inside
+// the test timeout.
+func TestParallelFig7Fig9MatchSequential(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full Fig7 grid is too slow under -race; subset determinism and race coverage run in TestParallelSubsetMatchesSequential")
+	}
+	if testing.Short() {
+		t.Skip("full Fig7 grid skipped in -short mode")
+	}
+	seq := NewRunner()
+	seq.SetWorkers(1)
+	f7Seq, err := Fig7(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9Seq, err := Fig9(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewRunner()
+	par.SetWorkers(8)
+	var wg sync.WaitGroup
+	var f7Par *Fig7Result
+	var f9Par *Fig9Result
+	var f7Err, f9Err error
+	wg.Add(2)
+	go func() { defer wg.Done(); f7Par, f7Err = Fig7(par) }()
+	go func() { defer wg.Done(); f9Par, f9Err = Fig9(par) }()
+	wg.Wait()
+	if f7Err != nil {
+		t.Fatal(f7Err)
+	}
+	if f9Err != nil {
+		t.Fatal(f9Err)
+	}
+	if f7Par.String() != f7Seq.String() {
+		t.Fatal("parallel Fig7 diverged from sequential output")
+	}
+	if f9Par.String() != f9Seq.String() {
+		t.Fatal("parallel Fig9 diverged from sequential output")
+	}
+	// The shared parallel runner must have deduplicated Fig7's and Fig9's
+	// overlapping LightWSP runs: 39 suite entries × 4 schemes for Fig7,
+	// plus Fig9's PSP-Ideal runs (its baseline and LightWSP runs are
+	// already memoized).
+	if c := par.Counters(); c.Fresh >= 4*39+2*6 {
+		t.Fatalf("Fresh = %d: concurrent drivers did not share overlapping runs", c.Fresh)
+	}
+
+	// A driver re-run on the warm runner is pure cache hits.
+	pre := par.Counters().Fresh
+	if _, err := Fig9(par); err != nil {
+		t.Fatal(err)
+	}
+	if c := par.Counters(); c.Fresh != pre {
+		t.Fatal("warm re-run of Fig9 performed fresh simulations")
+	}
+}
+
+// TestWorkloadBuildRace builds the same profile concurrently: workload
+// generation and compilation must be free of shared mutable state, because
+// Prefetch runs them on the worker pool.
+func TestWorkloadBuildRace(t *testing.T) {
+	p := cheapProfile(t)
+	var wg sync.WaitGroup
+	progs := make([]string, 4)
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			prog, err := workload.Build(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := compiler.Compile(prog, compiler.DefaultConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = res.Prog.Disasm()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(progs); i++ {
+		if progs[i] != progs[0] {
+			t.Fatal("concurrent builds produced different programs")
+		}
+	}
+}

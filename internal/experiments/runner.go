@@ -3,6 +3,18 @@
 // different persistence schemes and configuration sweeps, over the
 // synthetic application profiles of internal/workload.
 //
+// The evaluation grid — ~38 application profiles × schemes × configuration
+// sweeps — is embarrassingly parallel: every simulation is deterministic
+// and shares no state with any other. The Runner exploits that end to end:
+// drivers declare their full run set up front with Prefetch, distinct runs
+// fan out across a GOMAXPROCS-sized worker pool, concurrent requests for
+// the same run share one in-flight simulation, and completed results are
+// memoized in memory and (optionally) persisted to an on-disk cache so
+// repeated invocations skip finished simulations entirely. Parallelism
+// never changes a reproduced number: results are keyed by the canonical
+// run key (key.go) and each driver aggregates memoized results in its own
+// deterministic order.
+//
 // Capacity scaling: the paper simulates Table I capacities (16 MB L2, 4 GB
 // DRAM cache) against full benchmark footprints. Simulating gigabyte
 // footprints is pointless here, so the harness scales the capacity-class
@@ -15,6 +27,10 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
 
 	"lightwsp/internal/baseline"
 	"lightwsp/internal/compiler"
@@ -26,6 +42,10 @@ import (
 // MaxRunCycles bounds any single simulation.
 const MaxRunCycles = 2_000_000_000
 
+// CacheDirEnv names the environment variable that, when set, enables the
+// persistent on-disk result cache for every new Runner.
+const CacheDirEnv = "LIGHTWSP_CACHE_DIR"
+
 // ScaledConfig returns the Table I configuration with capacities scaled
 // down 8× (see the package comment); everything else is Table I verbatim.
 func ScaledConfig() machine.Config {
@@ -35,30 +55,135 @@ func ScaledConfig() machine.Config {
 	return cfg
 }
 
-// Runner executes and memoizes simulation runs. Results are keyed by
-// (application, scheme, configuration), so experiments sharing runs — every
-// figure needs the baseline — pay for them once.
+// Counters snapshots a Runner's cache effectiveness. Fresh+DiskHits is the
+// number of distinct simulations the Runner resolved; MemHits counts Run
+// calls served without touching disk or the simulator.
+type Counters struct {
+	// Fresh is the number of simulations actually executed.
+	Fresh int
+	// DiskHits is the number of distinct runs loaded from the disk cache.
+	DiskHits int
+	// MemHits is the number of Run calls served from the in-memory memo
+	// table or joined onto an already-in-flight simulation.
+	MemHits int
+}
+
+// Runner executes and memoizes simulation runs. Results are keyed by the
+// canonical run key over (profile, scheme, machine config, compiler
+// config), so experiments sharing runs — every figure needs the baseline —
+// pay for them once.
+//
+// A Runner is safe for concurrent use. Simulations fan out over a worker
+// pool sized by GOMAXPROCS (SetWorkers overrides); two callers requesting
+// the same key share a single in-flight simulation. Configure the Runner
+// (SetWorkers, SetCacheDir, Progress) before the first Run.
 type Runner struct {
-	cache map[string]*machine.Stats
-	// Quiet mode suppresses progress output.
-	Quiet bool
-	// Progress, if non-nil, receives one line per fresh (uncached) run.
+	mu       sync.Mutex
+	cache    map[string]*machine.Stats
+	inflight map[string]*inflightRun
+	sem      chan struct{}
+	workers  int
+	disk     *diskCache
+	counters Counters
+
+	progressMu sync.Mutex
+	// Progress, if non-nil, receives one line per distinct resolved run:
+	// its identity (suite/app/scheme plus the run-key hash), whether it
+	// was freshly simulated or loaded from the disk cache, and its wall
+	// time. Calls are serialized.
 	Progress func(string)
 }
 
-// NewRunner returns an empty runner.
+type inflightRun struct {
+	done chan struct{}
+	st   *machine.Stats
+	err  error
+}
+
+// NewRunner returns an empty runner with a GOMAXPROCS-sized worker pool.
+// If LIGHTWSP_CACHE_DIR is set, the persistent disk cache is enabled there.
 func NewRunner() *Runner {
-	return &Runner{cache: map[string]*machine.Stats{}}
+	r := &Runner{
+		cache:    map[string]*machine.Stats{},
+		inflight: map[string]*inflightRun{},
+		workers:  runtime.GOMAXPROCS(0),
+	}
+	if dir := os.Getenv(CacheDirEnv); dir != "" {
+		r.disk = newDiskCache(dir)
+	}
+	return r
+}
+
+// SetWorkers sets the worker-pool size (minimum 1). Call before Run.
+func (r *Runner) SetWorkers(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+	r.sem = nil
+}
+
+// SetCacheDir enables the persistent disk cache under dir, overriding
+// LIGHTWSP_CACHE_DIR; an empty dir disables it. Call before Run.
+func (r *Runner) SetCacheDir(dir string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if dir == "" {
+		r.disk = nil
+		return
+	}
+	r.disk = newDiskCache(dir)
+}
+
+// Counters returns a snapshot of the runner's cache counters.
+func (r *Runner) Counters() Counters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters
+}
+
+// pool returns the worker-pool semaphore; the caller must hold r.mu.
+func (r *Runner) pool() chan struct{} {
+	if r.sem == nil {
+		r.sem = make(chan struct{}, r.workers)
+	}
+	return r.sem
 }
 
 // Mutator tweaks a configuration before a run (sweep parameter).
 type Mutator func(*machine.Config)
 
-// Run executes profile p under scheme sch with the scaled configuration,
-// optionally mutated, and returns the run's statistics. Instrumented
-// schemes compile the program first; ccfg.StoreThreshold zero means half
-// the WPQ size (§IV-A).
-func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Config, muts ...Mutator) (*machine.Stats, error) {
+// RunSpec names one simulation: the arguments of a Run call. Figure drivers
+// build their full run set as RunSpecs and hand it to Prefetch so all
+// distinct simulations fan out at once.
+type RunSpec struct {
+	Profile  workload.Profile
+	Scheme   machine.Scheme
+	Compiler compiler.Config
+	Muts     []Mutator
+}
+
+// spec builds a RunSpec (driver shorthand).
+func spec(p workload.Profile, sch machine.Scheme, ccfg compiler.Config, muts ...Mutator) RunSpec {
+	return RunSpec{Profile: p, Scheme: sch, Compiler: ccfg, Muts: muts}
+}
+
+// slowdownSpecs returns the two runs a Slowdown needs: the non-persistent
+// baseline and the scheme under test, under the same mutators.
+func slowdownSpecs(p workload.Profile, sch machine.Scheme, ccfg compiler.Config, muts ...Mutator) []RunSpec {
+	return []RunSpec{
+		spec(p, baseline.Baseline(), compiler.Config{}, muts...),
+		spec(p, sch, ccfg, muts...),
+	}
+}
+
+// resolve derives the effective machine and compiler configurations of a
+// run, exactly as Run will execute it: the scaled Table I config with the
+// profile's thread count, then the mutators, then the §IV-A store-threshold
+// default (half the WPQ size).
+func resolve(p workload.Profile, ccfg compiler.Config, muts []Mutator) (machine.Config, compiler.Config) {
 	cfg := ScaledConfig()
 	cfg.Threads = p.Threads
 	if cfg.Threads > cfg.Cores {
@@ -71,11 +196,123 @@ func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Confi
 		ccfg.StoreThreshold = cfg.WPQEntries / 2
 		ccfg.MaxUnroll = compiler.DefaultConfig().MaxUnroll
 	}
-	key := fmt.Sprintf("%s/%s|%s|%+v|%+v", p.Suite, p.Name, sch.Name, cfg, ccfg)
+	return cfg, ccfg
+}
+
+// Prefetch resolves every spec's run key, deduplicates, and executes all
+// distinct runs concurrently on the worker pool, returning the first error.
+// After a successful Prefetch, the driver's subsequent Run calls are
+// in-memory cache hits, so its aggregation order — and therefore every
+// reproduced number — is identical to a sequential execution.
+func (r *Runner) Prefetch(specs []RunSpec) error {
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for _, s := range specs {
+		cfg, ccfg := resolve(s.Profile, s.Compiler, s.Muts)
+		key := runKey(s.Profile, s.Scheme, cfg, ccfg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		wg.Add(1)
+		s := s
+		go func() {
+			defer wg.Done()
+			if _, err := r.Run(s.Profile, s.Scheme, s.Compiler, s.Muts...); err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Run executes profile p under scheme sch with the scaled configuration,
+// optionally mutated, and returns the run's statistics. Instrumented
+// schemes compile the program first; ccfg.StoreThreshold zero means half
+// the WPQ size (§IV-A). The returned Stats are shared and must be treated
+// as read-only.
+func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Config, muts ...Mutator) (*machine.Stats, error) {
+	cfg, ccfg := resolve(p, ccfg, muts)
+	key := runKey(p, sch, cfg, ccfg)
+
+	r.mu.Lock()
 	if st, ok := r.cache[key]; ok {
+		r.counters.MemHits++
+		r.mu.Unlock()
 		return st, nil
 	}
+	if fl, ok := r.inflight[key]; ok {
+		r.counters.MemHits++
+		r.mu.Unlock()
+		<-fl.done
+		return fl.st, fl.err
+	}
+	fl := &inflightRun{done: make(chan struct{})}
+	r.inflight[key] = fl
+	sem := r.pool()
+	r.mu.Unlock()
 
+	sem <- struct{}{}
+	st, fromDisk, err := r.execute(key, p, sch, cfg, ccfg)
+	<-sem
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if err == nil {
+		r.cache[key] = st
+		if fromDisk {
+			r.counters.DiskHits++
+		} else {
+			r.counters.Fresh++
+		}
+	}
+	r.mu.Unlock()
+	fl.st, fl.err = st, err
+	close(fl.done)
+	return st, err
+}
+
+// execute resolves one distinct run: disk-cache load if enabled, else a
+// full simulation (persisted to the disk cache afterwards).
+func (r *Runner) execute(key string, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, bool, error) {
+	hash := keyHash(key)
+	start := time.Now()
+	if r.disk != nil {
+		if st, ok := r.disk.load(key, hash); ok {
+			r.progress(p, sch, hash, "cached", time.Since(start), st)
+			return st, true, nil
+		}
+	}
+	st, err := simulate(p, sch, cfg, ccfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if r.disk != nil {
+		r.disk.store(key, hash, st)
+	}
+	r.progress(p, sch, hash, "fresh", time.Since(start), st)
+	return st, false, nil
+}
+
+func (r *Runner) progress(p workload.Profile, sch machine.Scheme, hash, src string, d time.Duration, st *machine.Stats) {
+	if r.Progress == nil {
+		return
+	}
+	r.progressMu.Lock()
+	defer r.progressMu.Unlock()
+	r.Progress(fmt.Sprintf("%-6s %-8s %-12s %-12s %8.2fs %12d cycles  %s",
+		src, p.Suite, p.Name, sch.Name, d.Seconds(), st.Cycles, hash[:12]))
+}
+
+// simulate performs one simulation with fully resolved configurations.
+func simulate(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, error) {
 	prog, err := workload.Build(p)
 	if err != nil {
 		return nil, err
@@ -95,10 +332,6 @@ func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Confi
 		return nil, fmt.Errorf("%s/%s under %s exceeded %d cycles", p.Suite, p.Name, sch.Name, uint64(MaxRunCycles))
 	}
 	st := sys.Stats
-	r.cache[key] = &st
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("ran %-8s %-12s %-12s %12d cycles", p.Suite, p.Name, sch.Name, st.Cycles))
-	}
 	return &st, nil
 }
 

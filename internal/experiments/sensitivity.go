@@ -47,6 +47,19 @@ func sweep(r *Runner, title string, names []string, points []struct {
 	mut  Mutator
 	ccfg compiler.Config
 }, profiles []workload.Profile) (*SweepResult, error) {
+	var specs []RunSpec
+	for _, p := range profiles {
+		for _, pt := range points {
+			muts := []Mutator{}
+			if pt.mut != nil {
+				muts = append(muts, pt.mut)
+			}
+			specs = append(specs, slowdownSpecs(p, LightWSP(), pt.ccfg, muts...)...)
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &SweepResult{Title: title, Configs: names, SuiteGeo: map[workload.Suite][]float64{}}
 	perSuite := map[workload.Suite][][]float64{}
 	overall := make([][]float64, len(points))
@@ -217,6 +230,13 @@ func Fig16(r *Runner) (*Fig16Result, error) {
 }
 
 func overflowRate(r *Runner, profiles []workload.Profile, mut Mutator) (float64, error) {
+	var specs []RunSpec
+	for _, p := range profiles {
+		specs = append(specs, spec(p, LightWSP(), compiler.Config{}, mut))
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return 0, err
+	}
 	var overflows, insts uint64
 	for _, p := range profiles {
 		st, err := r.Run(p, LightWSP(), compiler.Config{}, mut)

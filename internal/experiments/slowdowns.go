@@ -27,6 +27,15 @@ type Fig7Row struct {
 
 // Fig7 runs the headline comparison.
 func Fig7(r *Runner) (*Fig7Result, error) {
+	var specs []RunSpec
+	for _, p := range workload.Profiles() {
+		specs = append(specs, slowdownSpecs(p, baseline.Capri(), compiler.Config{})...)
+		specs = append(specs, slowdownSpecs(p, baseline.PPA(), compiler.Config{})...)
+		specs = append(specs, slowdownSpecs(p, LightWSP(), compiler.Config{})...)
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Fig7Result{SuiteGeo: map[workload.Suite][3]float64{}}
 	var all [3][]float64
 	perSuite := map[workload.Suite]*[3][]float64{}
@@ -99,6 +108,14 @@ type Fig9Row struct {
 
 // Fig9 runs the PSP-vs-WSP comparison.
 func Fig9(r *Runner) (*Fig9Result, error) {
+	var specs []RunSpec
+	for _, p := range workload.MemoryIntensiveProfiles() {
+		specs = append(specs, slowdownSpecs(p, baseline.PSPIdeal(), compiler.Config{})...)
+		specs = append(specs, slowdownSpecs(p, LightWSP(), compiler.Config{})...)
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Fig9Result{}
 	var psp, light []float64
 	for _, p := range workload.MemoryIntensiveProfiles() {
@@ -150,6 +167,19 @@ type Fig10Row struct {
 
 // Fig10 runs the state-of-the-art comparison.
 func Fig10(r *Runner) (*Fig10Result, error) {
+	var specs []RunSpec
+	for _, s := range workload.Suites() {
+		if s == workload.NPB {
+			continue
+		}
+		for _, p := range workload.BySuite(s) {
+			specs = append(specs, slowdownSpecs(p, baseline.CWSP(), compiler.Config{})...)
+			specs = append(specs, slowdownSpecs(p, LightWSP(), compiler.Config{})...)
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Fig10Result{}
 	var allC, allL []float64
 	for _, s := range workload.Suites() {
@@ -203,6 +233,15 @@ type Fig8Row struct {
 
 // Fig8 measures persistence efficiency.
 func Fig8(r *Runner) (*Fig8Result, error) {
+	var specs []RunSpec
+	for _, p := range workload.Profiles() {
+		specs = append(specs,
+			spec(p, baseline.PPA(), compiler.Config{}),
+			spec(p, LightWSP(), compiler.Config{}))
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Fig8Result{}
 	var allP, allL []float64
 	for _, s := range workload.Suites() {

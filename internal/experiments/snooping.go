@@ -55,6 +55,15 @@ type Fig14Result struct {
 // Fig14 measures cache miss rates with and without buffer snooping.
 func Fig14(r *Runner) (*Fig14Result, error) {
 	policies := []mem.VictimPolicy{mem.FullVictim, mem.HalfVictim, mem.ZeroVictim, mem.StaleLoad}
+	var specs []RunSpec
+	for _, p := range workload.Profiles() {
+		for _, pol := range policies {
+			specs = append(specs, spec(p, LightWSP(), compiler.Config{}, victimMutator(pol)))
+		}
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Fig14Result{
 		Policies: []string{"full-victim", "half-victim", "zero-victim", "stale-load"},
 		MissRate: map[workload.Suite][]float64{},
@@ -182,6 +191,13 @@ type Table2Result struct {
 
 // Table2 measures the buffer-conflict rate.
 func Table2(r *Runner) (*Table2Result, error) {
+	var specs []RunSpec
+	for _, p := range workload.Profiles() {
+		specs = append(specs, spec(p, LightWSP(), compiler.Config{}))
+	}
+	if err := r.Prefetch(specs); err != nil {
+		return nil, err
+	}
 	res := &Table2Result{Rate: map[workload.Suite]float64{}}
 	for _, s := range workload.Suites() {
 		var conflicts, searches uint64

@@ -5,23 +5,48 @@ import (
 	"sort"
 )
 
-// Image is a sparse, word-granular memory image. The simulator keeps two:
-// the architectural image (what loads observe through the cache hierarchy)
-// and the PM image (what has actually persisted — the only thing that
-// survives a power failure). Unwritten words read as zero.
+// Image page geometry. Every load, store, WPQ flush and power-failure check
+// goes through the image, so its layout is the simulator's hottest data
+// structure: words are grouped into 512-word (4 KiB) pages backed by flat
+// arrays, reached through one map lookup per page instead of one per word.
+const (
+	pageWords = 512
+	pageShift = 9 // log2(pageWords)
+	pageMask  = pageWords - 1
+)
+
+// page is one 4 KiB span of the address space plus a population count, so
+// pages can be dropped from the index the moment their last word returns to
+// zero (unwritten words read as zero, and sparseness keeps Clone/Equal
+// proportional to the touched footprint).
+type page struct {
+	words   [pageWords]uint64
+	nonzero int
+}
+
+// Image is a sparse, paged, word-granular memory image. The simulator keeps
+// two: the architectural image (what loads observe through the cache
+// hierarchy) and the PM image (what has actually persisted — the only thing
+// that survives a power failure). Unwritten words read as zero.
 type Image struct {
-	words map[uint64]uint64
+	pages map[uint64]*page
+	count int // non-zero words across all pages
 }
 
 // NewImage returns an empty image.
-func NewImage() *Image { return &Image{words: map[uint64]uint64{}} }
+func NewImage() *Image { return &Image{pages: map[uint64]*page{}} }
 
 // Read returns the word at addr (8-byte aligned).
 func (im *Image) Read(addr uint64) uint64 {
 	if !Align8(addr) {
 		panic(fmt.Sprintf("mem: unaligned read at %#x", addr))
 	}
-	return im.words[addr]
+	w := addr >> 3
+	pg := im.pages[w>>pageShift]
+	if pg == nil {
+		return 0
+	}
+	return pg.words[w&pageMask]
 }
 
 // Write stores a word at addr (8-byte aligned).
@@ -29,61 +54,103 @@ func (im *Image) Write(addr, val uint64) {
 	if !Align8(addr) {
 		panic(fmt.Sprintf("mem: unaligned write at %#x", addr))
 	}
-	if val == 0 {
-		// Keep the map sparse: zero is the default.
-		delete(im.words, addr)
+	w := addr >> 3
+	pi := w >> pageShift
+	pg := im.pages[pi]
+	if pg == nil {
+		if val == 0 {
+			return // zero is the default: stay sparse
+		}
+		pg = &page{}
+		im.pages[pi] = pg
+	}
+	off := w & pageMask
+	old := pg.words[off]
+	if old == val {
 		return
 	}
-	im.words[addr] = val
+	pg.words[off] = val
+	switch {
+	case old == 0:
+		pg.nonzero++
+		im.count++
+	case val == 0:
+		pg.nonzero--
+		im.count--
+		if pg.nonzero == 0 {
+			delete(im.pages, pi)
+		}
+	}
 }
 
 // Len returns the number of non-zero words.
-func (im *Image) Len() int { return len(im.words) }
+func (im *Image) Len() int { return im.count }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. Copying flat page arrays is far cheaper than
+// re-inserting every word into a fresh map, which matters because the
+// machine clones the PM image at construction and at every power-failure
+// injection.
 func (im *Image) Clone() *Image {
-	c := NewImage()
-	for a, v := range im.words {
-		c.words[a] = v
+	c := &Image{pages: make(map[uint64]*page, len(im.pages)), count: im.count}
+	for pi, pg := range im.pages {
+		cp := *pg
+		c.pages[pi] = &cp
 	}
 	return c
 }
 
 // Equal reports whether two images hold identical contents.
 func (im *Image) Equal(other *Image) bool {
-	if len(im.words) != len(other.words) {
+	if im.count != other.count || len(im.pages) != len(other.pages) {
 		return false
 	}
-	for a, v := range im.words {
-		if other.words[a] != v {
+	for pi, pg := range im.pages {
+		opg, ok := other.pages[pi]
+		if !ok || pg.words != opg.words {
 			return false
 		}
 	}
 	return true
 }
 
+// pageIndices returns the sorted union of both images' page indices.
+func pageIndices(a, b *Image) []uint64 {
+	idx := make([]uint64, 0, len(a.pages)+len(b.pages))
+	for pi := range a.pages {
+		idx = append(idx, pi)
+	}
+	for pi := range b.pages {
+		if _, ok := a.pages[pi]; !ok {
+			idx = append(idx, pi)
+		}
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	return idx
+}
+
 // Diff returns up to max human-readable differences between the images,
 // for failure reports from the crash-consistency checker.
 func (im *Image) Diff(other *Image, max int) []string {
-	var addrs []uint64
-	seen := map[uint64]bool{}
-	for a := range im.words {
-		seen[a] = true
-		addrs = append(addrs, a)
-	}
-	for a := range other.words {
-		if !seen[a] {
-			addrs = append(addrs, a)
-		}
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var out []string
-	for _, a := range addrs {
-		x, y := im.words[a], other.words[a]
-		if x != y {
-			out = append(out, fmt.Sprintf("[%#x] %#x != %#x", a, x, y))
-			if len(out) == max {
-				break
+	for _, pi := range pageIndices(im, other) {
+		a, b := im.pages[pi], other.pages[pi]
+		if a != nil && b != nil && a.words == b.words {
+			continue
+		}
+		for off := uint64(0); off < pageWords; off++ {
+			var x, y uint64
+			if a != nil {
+				x = a.words[off]
+			}
+			if b != nil {
+				y = b.words[off]
+			}
+			if x != y {
+				addr := ((pi << pageShift) | off) << 3
+				out = append(out, fmt.Sprintf("[%#x] %#x != %#x", addr, x, y))
+				if len(out) == max {
+					return out
+				}
 			}
 		}
 	}
@@ -92,13 +159,39 @@ func (im *Image) Diff(other *Image, max int) []string {
 
 // EqualRange reports whether the images agree on every word in [lo, hi).
 func (im *Image) EqualRange(other *Image, lo, hi uint64) bool {
-	check := func(a *Image, b *Image) bool {
-		for addr, v := range a.words {
-			if addr >= lo && addr < hi && b.words[addr] != v {
+	if lo >= hi {
+		return true
+	}
+	// Word-index range covering the addresses in [lo, hi).
+	loW, hiW := (lo+7)>>3, (hi+7)>>3
+	for _, pi := range pageIndices(im, other) {
+		pLo, pHi := pi<<pageShift, (pi+1)<<pageShift
+		if pHi <= loW || pLo >= hiW {
+			continue
+		}
+		a, b := im.pages[pi], other.pages[pi]
+		if a != nil && b != nil && a.words == b.words {
+			continue
+		}
+		from, to := uint64(0), uint64(pageWords)
+		if pLo < loW {
+			from = loW - pLo
+		}
+		if pHi > hiW {
+			to = hiW - pLo
+		}
+		for off := from; off < to; off++ {
+			var x, y uint64
+			if a != nil {
+				x = a.words[off]
+			}
+			if b != nil {
+				y = b.words[off]
+			}
+			if x != y {
 				return false
 			}
 		}
-		return true
 	}
-	return check(im, other) && check(other, im)
+	return true
 }

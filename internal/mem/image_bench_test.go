@@ -1,0 +1,54 @@
+package mem
+
+import "testing"
+
+// The image benchmarks model the simulator's access pattern: a working set
+// of a few hundred KB touched word-by-word with high locality (every load,
+// store, WPQ flush and power-failure check goes through the image). The
+// paged layout (512-word pages behind one map lookup) replaced a
+// word-granular map[uint64]uint64; these benchmarks track that win.
+
+const benchFootprint = 256 << 10 // 256 KB, a mid-size profile's working set
+
+func benchImage() *Image {
+	im := NewImage()
+	for a := uint64(0); a < benchFootprint; a += WordSize {
+		im.Write(a, a^0x5bd1e995)
+	}
+	return im
+}
+
+func BenchmarkImageReadWrite(b *testing.B) {
+	im := benchImage()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		a := (uint64(i) * 72) % benchFootprint &^ 7
+		sink += im.Read(a)
+		im.Write(a, uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkImageClone(b *testing.B) {
+	im := benchImage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := im.Clone()
+		if c.Len() != im.Len() {
+			b.Fatal("clone lost words")
+		}
+	}
+}
+
+func BenchmarkImageEqual(b *testing.B) {
+	im := benchImage()
+	other := im.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !im.Equal(other) {
+			b.Fatal("clones must compare equal")
+		}
+	}
+}

@@ -59,6 +59,48 @@ func TestImageCloneEqualDiff(t *testing.T) {
 	}
 }
 
+func TestImagePageReclamation(t *testing.T) {
+	im := NewImage()
+	// Fill one page (addresses 0..4 KiB) and its neighbour, then zero the
+	// first page word by word: its backing page must be dropped so sparse
+	// images stay proportional to their live footprint.
+	for a := uint64(0); a < 2*pageWords*WordSize; a += WordSize {
+		im.Write(a, a+1)
+	}
+	for a := uint64(0); a < pageWords*WordSize; a += WordSize {
+		im.Write(a, 0)
+	}
+	if im.Len() != pageWords {
+		t.Fatalf("Len = %d, want %d", im.Len(), pageWords)
+	}
+	if len(im.pages) != 1 {
+		t.Fatalf("zeroed page not reclaimed: %d pages", len(im.pages))
+	}
+}
+
+func TestImagePageBoundary(t *testing.T) {
+	im := NewImage()
+	// The last word of one page and the first of the next must not alias.
+	lastA := uint64(pageWords-1) * WordSize
+	firstB := uint64(pageWords) * WordSize
+	im.Write(lastA, 11)
+	im.Write(firstB, 22)
+	if im.Read(lastA) != 11 || im.Read(firstB) != 22 {
+		t.Fatalf("page-boundary words alias: %d %d", im.Read(lastA), im.Read(firstB))
+	}
+	if im.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", im.Len())
+	}
+	other := NewImage()
+	other.Write(lastA, 11)
+	if im.EqualRange(other, 0, firstB) != true {
+		t.Fatal("EqualRange must exclude the first word of the next page")
+	}
+	if im.EqualRange(other, 0, firstB+WordSize) {
+		t.Fatal("EqualRange must include words up to hi")
+	}
+}
+
 func TestImageEqualRange(t *testing.T) {
 	a, b := NewImage(), NewImage()
 	a.Write(0x100, 7)
