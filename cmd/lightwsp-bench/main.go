@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/metrics"
 )
 
 // benchReport is the machine-readable summary written by -json: the
@@ -40,6 +41,12 @@ type benchReport struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	// Experiments lists the experiments executed, in order.
 	Experiments []string `json:"experiments"`
+	// Metrics aggregates every resolved run's probe metrics (counters sum,
+	// histogram buckets merge exactly), rendering suite-wide p50/p90/p99.
+	Metrics metrics.Snapshot `json:"metrics"`
+	// Runs holds one provenance manifest per distinct resolved run: key
+	// hash, fresh/cached source, wall time, git describe, per-run metrics.
+	Runs []experiments.RunManifest `json:"runs"`
 }
 
 func main() {
@@ -51,6 +58,8 @@ func main() {
 			"print one progress line per resolved run (run key, fresh/cached, wall time)")
 		jsonPath = flag.String("json", "",
 			"write a machine-readable run summary (e.g. BENCH_runner.json)")
+		timelineDir = flag.String("timeline-dir", "",
+			"write one Chrome trace-event timeline per fresh simulation into this directory")
 	)
 	flag.Parse()
 
@@ -63,6 +72,7 @@ func main() {
 	r := experiments.NewRunner()
 	r.SetWorkers(*workers)
 	r.SetCacheDir(*cacheDir)
+	r.SetTimelineDir(*timelineDir)
 	if *verbose {
 		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -126,8 +136,10 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "runner: %d distinct runs (%d fresh, %d from disk cache), %d memo hits, %d workers, %.1fs\n",
 			c.Fresh+c.DiskHits, c.Fresh, c.DiskHits, c.MemHits, *workers, time.Since(start).Seconds())
+		fmt.Fprint(os.Stderr, experiments.AggregateMetrics(r.Manifests()).String())
 	}
 	if *jsonPath != "" {
+		runs := r.Manifests()
 		rep := benchReport{
 			TotalRuns:     c.Fresh + c.DiskHits,
 			FreshRuns:     c.Fresh,
@@ -136,6 +148,8 @@ func main() {
 			Workers:       *workers,
 			WallSeconds:   time.Since(start).Seconds(),
 			Experiments:   ran,
+			Metrics:       experiments.AggregateMetrics(runs),
+			Runs:          runs,
 		}
 		data, err := json.MarshalIndent(rep, "", "\t")
 		if err != nil {

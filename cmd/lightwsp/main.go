@@ -18,6 +18,8 @@ import (
 	"os"
 
 	"lightwsp"
+	"lightwsp/internal/metrics"
+	"lightwsp/internal/probe"
 	"lightwsp/internal/recovery"
 	"lightwsp/internal/trace"
 	"lightwsp/internal/workload"
@@ -30,15 +32,17 @@ func main() {
 	threads := flag.Int("threads", 0, "thread count override (0 = workload default)")
 	verbose := flag.Bool("v", false, "print compiler and run statistics")
 	traceOrder := flag.Bool("trace", false, "record the persist-order trace and verify the LRPO invariant")
+	timeline := flag.String("timeline", "", "write the clean run's cycle-level timeline as Chrome trace-event JSON (load in Perfetto)")
+	showMetrics := flag.Bool("metrics", false, "print the clean run's probe-metrics counters and histograms")
 	flag.Parse()
 
-	if err := run(*suite, *app, *failAt, *threads, *verbose, *traceOrder); err != nil {
+	if err := run(*suite, *app, *failAt, *threads, *verbose, *traceOrder, *timeline, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "lightwsp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(suite, app string, failAt float64, threads int, verbose, traceOrder bool) error {
+func run(suite, app string, failAt float64, threads int, verbose, traceOrder bool, timeline string, showMetrics bool) error {
 	p, ok := workload.ByName(workload.Suite(suite), app)
 	if !ok {
 		return fmt.Errorf("unknown workload %s/%s", suite, app)
@@ -77,6 +81,20 @@ func run(suite, app string, failAt float64, threads int, verbose, traceOrder boo
 		tr = trace.New(0)
 		sys.SetPersistTrace(tr)
 	}
+	var tl *probe.Timeline
+	var met *metrics.Metrics
+	var sinks []probe.Sink
+	if timeline != "" {
+		tl = probe.NewTimeline(0)
+		sinks = append(sinks, tl)
+	}
+	if showMetrics {
+		met = metrics.New()
+		sinks = append(sinks, met)
+	}
+	if len(sinks) > 0 {
+		sys.SetProbeSink(probe.Multi(sinks...))
+	}
 	if !sys.Run(budget) {
 		return fmt.Errorf("run exceeded %d cycles", uint64(budget))
 	}
@@ -84,10 +102,23 @@ func run(suite, app string, failAt float64, threads int, verbose, traceOrder boo
 	fmt.Printf("clean run %d cycles, %d instructions, %d regions persisted\n",
 		clean.Stats.Cycles, clean.Stats.Instructions, clean.Stats.RegionsClosed)
 	if tr != nil {
+		// The summary (including any dropped-event count) always prints;
+		// verification then refuses a capped trace rather than passing on
+		// an incomplete prefix.
+		fmt.Printf("          %s\n", tr.Summary())
 		if err := tr.VerifyRegionOrder(cfg.NumMCs); err != nil {
 			return fmt.Errorf("persist-order invariant violated: %w", err)
 		}
-		fmt.Printf("          %s; LRPO region order verified\n", tr.Summary())
+		fmt.Println("          LRPO region order verified")
+	}
+	if tl != nil {
+		if err := tl.WriteFile(timeline); err != nil {
+			return fmt.Errorf("writing timeline: %w", err)
+		}
+		fmt.Printf("timeline  %d events -> %s (load in Perfetto / chrome://tracing)\n", tl.Len(), timeline)
+	}
+	if met != nil {
+		fmt.Print(met.String())
 	}
 	if verbose {
 		fmt.Printf("          persistence efficiency %.2f%%, %.1f insts/region, %.1f stores/region\n",

@@ -25,6 +25,9 @@ type diskEntry struct {
 	SchemaVersion int           `json:"schema_version"`
 	Key           string        `json:"key"`
 	Stats         machine.Stats `json:"stats"`
+	// Manifest records the provenance and metrics of the simulation that
+	// produced this entry (Source stays "fresh" on disk; loads rewrite it).
+	Manifest RunManifest `json:"manifest"`
 }
 
 func newDiskCache(dir string) *diskCache {
@@ -35,27 +38,27 @@ func (d *diskCache) path(hash string) string {
 	return filepath.Join(d.dir, hash+".json")
 }
 
-// load returns the cached stats for the given canonical key, if present and
-// valid. Entries whose schema version or embedded key disagree are stale —
-// the key format changed under them — and are removed.
-func (d *diskCache) load(key, hash string) (*machine.Stats, bool) {
+// load returns the cached stats and manifest for the given canonical key,
+// if present and valid. Entries whose schema version or embedded key
+// disagree are stale — the key format changed under them — and are removed.
+func (d *diskCache) load(key, hash string) (*machine.Stats, RunManifest, bool) {
 	data, err := os.ReadFile(d.path(hash))
 	if err != nil {
-		return nil, false
+		return nil, RunManifest{}, false
 	}
 	var e diskEntry
 	if err := json.Unmarshal(data, &e); err != nil || e.SchemaVersion != keySchemaVersion || e.Key != key {
 		os.Remove(d.path(hash))
-		return nil, false
+		return nil, RunManifest{}, false
 	}
 	st := e.Stats
-	return &st, true
+	return &st, e.Manifest, true
 }
 
 // store persists one completed run, atomically (write to a temp file in the
 // same directory, then rename), so a crashed or concurrent writer can never
 // leave a half-written entry that a later load would trust.
-func (d *diskCache) store(key, hash string, st *machine.Stats) {
+func (d *diskCache) store(key, hash string, st *machine.Stats, man RunManifest) {
 	if err := os.MkdirAll(d.dir, 0o755); err != nil {
 		return
 	}
@@ -63,6 +66,7 @@ func (d *diskCache) store(key, hash string, st *machine.Stats) {
 		SchemaVersion: keySchemaVersion,
 		Key:           key,
 		Stats:         *st,
+		Manifest:      man,
 	}, "", "\t")
 	if err != nil {
 		return

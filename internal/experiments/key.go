@@ -12,11 +12,13 @@ import (
 )
 
 // keySchemaVersion stamps every run key. Bump it whenever the meaning of a
-// cached machine.Stats blob changes — a new simulator counter, a semantics
-// fix, a workload-generation change — and every in-memory and on-disk cache
-// entry is invalidated at once, because the version participates in both
-// the canonical key and its content hash.
-const keySchemaVersion = 1
+// cached blob changes — a new simulator counter, a semantics fix, a
+// workload-generation change, a disk-entry schema extension — and every
+// in-memory and on-disk cache entry is invalidated at once, because the
+// version participates in both the canonical key and its content hash.
+//
+// v2: disk entries carry a RunManifest (provenance + metrics snapshot).
+const keySchemaVersion = 2
 
 // runKey canonicalizes the full identity of one simulation: the workload
 // profile, the persistence scheme, the resolved machine configuration

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"os/exec"
+	"strings"
+	"sync"
+
+	"lightwsp/internal/metrics"
+)
+
+// RunManifest is the provenance record of one resolved simulation: what ran,
+// where the result came from (fresh simulation or the disk cache), how long
+// resolving it took, which source revision produced it, and the run's full
+// metrics snapshot. Manifests ride along in -json summaries and in every
+// disk-cache entry, so a cached number can always be traced back to the
+// simulation that produced it.
+type RunManifest struct {
+	SchemaVersion int `json:"schema_version"`
+	// KeyHash is the SHA-256 content hash of the canonical run key — the
+	// same identity the disk cache files and progress lines use.
+	KeyHash string `json:"key_hash"`
+	Suite   string `json:"suite"`
+	App     string `json:"app"`
+	Scheme  string `json:"scheme"`
+	// Source is how this invocation resolved the run: "fresh" (simulated)
+	// or "cached" (loaded from the disk cache).
+	Source string `json:"source"`
+	// WallSeconds is this invocation's resolution time: simulation wall
+	// time for fresh runs, load time for cached ones.
+	WallSeconds float64 `json:"wall_seconds"`
+	Cycles      uint64  `json:"cycles"`
+	// GitDescribe identifies the source tree of the simulation that
+	// produced the result (empty outside a git checkout). A cached entry
+	// keeps the revision that simulated it, not the one that loaded it.
+	GitDescribe string `json:"git_describe,omitempty"`
+	// Metrics is the run's full probe-metrics snapshot; its histograms
+	// carry mergeable buckets, so per-run snapshots aggregate exactly.
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// AggregateMetrics merges every manifest's metrics snapshot into one
+// suite-wide view (histogram buckets merge exactly; see metrics.Merge).
+func AggregateMetrics(mans []RunManifest) metrics.Snapshot {
+	agg := metrics.New()
+	for _, m := range mans {
+		agg.Merge(m.Metrics)
+	}
+	return agg.Snapshot()
+}
+
+var (
+	gitDescribeOnce sync.Once
+	gitDescribeVal  string
+)
+
+// gitDescribe returns `git describe --always --dirty --tags` for the working
+// tree, or "" when git or a repository is unavailable. The result is
+// process-wide constant, so it is resolved once.
+func gitDescribe() string {
+	gitDescribeOnce.Do(func() {
+		out, err := exec.Command("git", "describe", "--always", "--dirty", "--tags").Output()
+		if err != nil {
+			return
+		}
+		gitDescribeVal = strings.TrimSpace(string(out))
+	})
+	return gitDescribeVal
+}

@@ -28,7 +28,9 @@ package experiments
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -36,6 +38,8 @@ import (
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
 	"lightwsp/internal/machine"
+	"lightwsp/internal/metrics"
+	"lightwsp/internal/probe"
 	"lightwsp/internal/workload"
 )
 
@@ -78,13 +82,15 @@ type Counters struct {
 // the same key share a single in-flight simulation. Configure the Runner
 // (SetWorkers, SetCacheDir, Progress) before the first Run.
 type Runner struct {
-	mu       sync.Mutex
-	cache    map[string]*machine.Stats
-	inflight map[string]*inflightRun
-	sem      chan struct{}
-	workers  int
-	disk     *diskCache
-	counters Counters
+	mu          sync.Mutex
+	cache       map[string]*machine.Stats
+	inflight    map[string]*inflightRun
+	sem         chan struct{}
+	workers     int
+	disk        *diskCache
+	counters    Counters
+	manifests   map[string]RunManifest
+	timelineDir string
 
 	progressMu sync.Mutex
 	// Progress, if non-nil, receives one line per distinct resolved run:
@@ -104,9 +110,10 @@ type inflightRun struct {
 // If LIGHTWSP_CACHE_DIR is set, the persistent disk cache is enabled there.
 func NewRunner() *Runner {
 	r := &Runner{
-		cache:    map[string]*machine.Stats{},
-		inflight: map[string]*inflightRun{},
-		workers:  runtime.GOMAXPROCS(0),
+		cache:     map[string]*machine.Stats{},
+		inflight:  map[string]*inflightRun{},
+		workers:   runtime.GOMAXPROCS(0),
+		manifests: map[string]RunManifest{},
 	}
 	if dir := os.Getenv(CacheDirEnv); dir != "" {
 		r.disk = newDiskCache(dir)
@@ -137,11 +144,52 @@ func (r *Runner) SetCacheDir(dir string) {
 	r.disk = newDiskCache(dir)
 }
 
+// SetTimelineDir enables per-run Chrome trace-event timelines: every fresh
+// simulation writes dir/<hash12>.trace.json (empty disables). Call before
+// Run. Timelines are a fresh-simulation artifact — disk-cache hits skip the
+// simulation and therefore produce none.
+func (r *Runner) SetTimelineDir(dir string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.timelineDir = dir
+}
+
 // Counters returns a snapshot of the runner's cache counters.
 func (r *Runner) Counters() Counters {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counters
+}
+
+// Manifests returns one provenance record per distinct resolved run, in a
+// deterministic order (suite, app, scheme, key hash).
+func (r *Runner) Manifests() []RunManifest {
+	r.mu.Lock()
+	out := make([]RunManifest, 0, len(r.manifests))
+	for _, m := range r.manifests {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Suite != b.Suite {
+			return a.Suite < b.Suite
+		}
+		if a.App != b.App {
+			return a.App < b.App
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.KeyHash < b.KeyHash
+	})
+	return out
+}
+
+func (r *Runner) noteManifest(key string, m RunManifest) {
+	r.mu.Lock()
+	r.manifests[key] = m
+	r.mu.Unlock()
 }
 
 // pool returns the worker-pool semaphore; the caller must hold r.mu.
@@ -280,25 +328,50 @@ func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Confi
 }
 
 // execute resolves one distinct run: disk-cache load if enabled, else a
-// full simulation (persisted to the disk cache afterwards).
+// full simulation (persisted to the disk cache afterwards). Either way it
+// records a RunManifest carrying the run's provenance and metrics.
 func (r *Runner) execute(key string, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, bool, error) {
 	hash := keyHash(key)
 	start := time.Now()
 	if r.disk != nil {
-		if st, ok := r.disk.load(key, hash); ok {
+		if st, man, ok := r.disk.load(key, hash); ok {
+			man.Source = "cached"
+			man.WallSeconds = time.Since(start).Seconds()
+			r.noteManifest(key, man)
 			r.progress(p, sch, hash, "cached", time.Since(start), st)
 			return st, true, nil
 		}
 	}
-	st, err := simulate(p, sch, cfg, ccfg)
+	st, snap, err := simulate(p, sch, cfg, ccfg, r.timelinePath(hash))
 	if err != nil {
 		return nil, false, err
 	}
-	if r.disk != nil {
-		r.disk.store(key, hash, st)
+	man := RunManifest{
+		SchemaVersion: keySchemaVersion,
+		KeyHash:       hash,
+		Suite:         string(p.Suite),
+		App:           p.Name,
+		Scheme:        sch.Name,
+		Source:        "fresh",
+		WallSeconds:   time.Since(start).Seconds(),
+		Cycles:        st.Cycles,
+		GitDescribe:   gitDescribe(),
+		Metrics:       snap,
 	}
+	if r.disk != nil {
+		r.disk.store(key, hash, st, man)
+	}
+	r.noteManifest(key, man)
 	r.progress(p, sch, hash, "fresh", time.Since(start), st)
 	return st, false, nil
+}
+
+// timelinePath returns where a fresh run's Chrome trace goes, or "".
+func (r *Runner) timelinePath(hash string) string {
+	if r.timelineDir == "" {
+		return ""
+	}
+	return filepath.Join(r.timelineDir, hash[:12]+".trace.json")
 }
 
 func (r *Runner) progress(p workload.Profile, sch machine.Scheme, hash, src string, d time.Duration, st *machine.Stats) {
@@ -311,28 +384,47 @@ func (r *Runner) progress(p workload.Profile, sch machine.Scheme, hash, src stri
 		src, p.Suite, p.Name, sch.Name, d.Seconds(), st.Cycles, hash[:12]))
 }
 
-// simulate performs one simulation with fully resolved configurations.
-func simulate(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, error) {
+// simulate performs one simulation with fully resolved configurations. A
+// metrics sink rides along on every run (its snapshot feeds the manifest);
+// a non-empty timelinePath additionally buffers the full event stream and
+// writes it as Chrome trace-event JSON.
+func simulate(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config, timelinePath string) (*machine.Stats, metrics.Snapshot, error) {
 	prog, err := workload.Build(p)
 	if err != nil {
-		return nil, err
+		return nil, metrics.Snapshot{}, err
 	}
 	if sch.Instrumented {
 		res, err := compiler.Compile(prog, ccfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", p.Suite, p.Name, err)
+			return nil, metrics.Snapshot{}, fmt.Errorf("%s/%s: %w", p.Suite, p.Name, err)
 		}
 		prog = res.Prog
 	}
 	sys, err := machine.NewSystem(prog, cfg, sch)
 	if err != nil {
-		return nil, err
+		return nil, metrics.Snapshot{}, err
+	}
+	m := metrics.New()
+	var tl *probe.Timeline
+	if timelinePath != "" {
+		tl = probe.NewTimeline(0)
+		sys.SetProbeSink(probe.Multi(m, tl))
+	} else {
+		sys.SetProbeSink(m)
 	}
 	if !sys.Run(MaxRunCycles) {
-		return nil, fmt.Errorf("%s/%s under %s exceeded %d cycles", p.Suite, p.Name, sch.Name, uint64(MaxRunCycles))
+		return nil, metrics.Snapshot{}, fmt.Errorf("%s/%s under %s exceeded %d cycles", p.Suite, p.Name, sch.Name, uint64(MaxRunCycles))
+	}
+	if tl != nil {
+		if err := os.MkdirAll(filepath.Dir(timelinePath), 0o755); err != nil {
+			return nil, metrics.Snapshot{}, err
+		}
+		if err := tl.WriteFile(timelinePath); err != nil {
+			return nil, metrics.Snapshot{}, err
+		}
 	}
 	st := sys.Stats
-	return &st, nil
+	return &st, m.Snapshot(), nil
 }
 
 // Slowdown returns cycles(sch)/cycles(baseline) for one profile.

@@ -6,6 +6,7 @@ import (
 	"lightwsp/internal/isa"
 	"lightwsp/internal/mem"
 	"lightwsp/internal/persistpath"
+	"lightwsp/internal/probe"
 )
 
 // sbEntry is one store-buffer slot: a retired store awaiting its trip down
@@ -48,6 +49,11 @@ type Core struct {
 	// Region-shape accounting.
 	instrInRegion  uint64
 	storesInRegion int
+
+	// FEB back-pressure burst tracking (probe-only; untouched when no
+	// sink is attached).
+	febStalled    bool
+	febStallStart uint64
 }
 
 // ThreadState is the architectural state a thread resumes with (recovery).
@@ -103,11 +109,19 @@ func (c *Core) emitBoundary(resume isa.PC, now uint64, allocateNext bool) {
 	if c.storesInRegion > s.Stats.MaxDynRegionStores {
 		s.Stats.MaxDynRegionStores = c.storesInRegion
 	}
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.RegionClose, Cycle: now,
+			Core: c.id, MC: -1, Region: c.region, Arg: uint64(c.storesInRegion)})
+	}
 	c.instrInRegion = 0
 	c.storesInRegion = 0
 
 	if allocateNext {
 		c.region = s.nextRegion()
+		if s.probe != nil {
+			s.probe.Emit(probe.Event{Kind: probe.RegionOpen, Cycle: now,
+				Core: c.id, MC: -1, Region: c.region})
+		}
 	}
 	if s.scheme.StallAtBoundary {
 		c.waitDrain = true
@@ -158,7 +172,20 @@ func (c *Core) drainSB(now uint64) {
 		}
 		if !c.path.Enqueue(pe) {
 			s.Stats.StallFEBFull++
+			if s.probe != nil && !c.febStalled {
+				c.febStalled = true
+				c.febStallStart = now
+				s.probe.Emit(probe.Event{Kind: probe.FEBStallStart, Cycle: now,
+					Core: c.id, MC: -1})
+			}
 			return // back pressure: the store stays in the buffer
+		}
+		if c.febStalled {
+			c.febStalled = false
+			if s.probe != nil {
+				s.probe.Emit(probe.Event{Kind: probe.FEBStallStop, Cycle: now,
+					Core: c.id, MC: -1, Arg: now - c.febStallStart})
+			}
 		}
 		c.outstanding++
 		s.Stats.PersistEntries++
@@ -193,6 +220,16 @@ func (c *Core) drainSB(now uint64) {
 func (c *Core) snoopFn() func(uint64) bool {
 	if c.path == nil || c.sys.cfg.VictimPolicy == mem.StaleLoad {
 		return nil
+	}
+	if s := c.sys; s.probe != nil {
+		return func(line uint64) bool {
+			hit := c.path.Snoop(line)
+			if hit {
+				s.probe.Emit(probe.Event{Kind: probe.SnoopHit, Cycle: s.cycle,
+					Core: c.id, MC: -1, Addr: line})
+			}
+			return hit
+		}
 	}
 	return c.path.Snoop
 }
@@ -384,6 +421,10 @@ func (c *Core) step(in *isa.Instr, now uint64) bool {
 		}
 		if s.scheme.Instrumented {
 			c.region = s.nextRegion()
+			if s.probe != nil {
+				s.probe.Emit(probe.Event{Kind: probe.RegionOpen, Cycle: now,
+					Core: c.id, MC: -1, Region: c.region})
+			}
 			c.spinning = false
 		} else if !c.sbRoom(1) {
 			s.Stats.StallSBFull++

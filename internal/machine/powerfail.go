@@ -2,6 +2,7 @@ package machine
 
 import (
 	"lightwsp/internal/noc"
+	"lightwsp/internal/probe"
 )
 
 // FailureReport summarises a power failure's drain protocol.
@@ -24,6 +25,10 @@ type FailureReport struct {
 // dead after this call — build a recovered system to continue.
 func (s *System) PowerFail() FailureReport {
 	rep := FailureReport{Cycle: s.cycle, RegionCounter: s.regionCounter}
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.PowerFailCut, Cycle: s.cycle,
+			Core: -1, MC: -1})
+	}
 
 	// (0) Volatile state disappears with the cores.
 	for _, c := range s.cores {
@@ -56,6 +61,10 @@ func (s *System) PowerFail() FailureReport {
 	// (6) Discard the stores of unpersisted regions.
 	for _, m := range s.mcs {
 		rep.Discarded += m.q.Discard()
+	}
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.PowerFailDrained, Cycle: s.cycle,
+			Core: -1, MC: -1, Arg: uint64(rep.Discarded)})
 	}
 	s.finalizeStats()
 	s.Stats.Cycles = s.cycle

@@ -1,0 +1,67 @@
+package machine
+
+import (
+	"testing"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/probe"
+)
+
+// benchSystem builds the reference workload for the probe-overhead
+// benchmarks: a two-thread instrumented store loop long enough that the
+// per-cycle hot loop dominates setup.
+func benchSystem(b *testing.B, sink probe.Sink) *System {
+	b.Helper()
+	res, err := compiler.Compile(storeProg(200, 0x1000), compiler.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.Threads = 2
+	sys, err2 := NewSystem(res.Prog, cfg, lightScheme())
+	if err2 != nil {
+		b.Fatal(err2)
+	}
+	sys.SetProbeSink(sink)
+	return sys
+}
+
+// BenchmarkRunNoSink is the reference: instrumented scheme, no probe sink
+// attached — every emission site reduces to a single nil check. Compare
+// against BenchmarkRunCounterSink to price the instrumentation; the nil-sink
+// case must stay within noise (<2%) of the pre-probe simulator, which this
+// pair demonstrates by bounding the full-sink cost itself.
+func BenchmarkRunNoSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := benchSystem(b, nil)
+		b.StartTimer()
+		if !sys.Run(10_000_000) {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
+// BenchmarkRunCounterSink attaches the cheapest real consumer.
+func BenchmarkRunCounterSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := benchSystem(b, &probe.Counter{})
+		b.StartTimer()
+		if !sys.Run(10_000_000) {
+			b.Fatal("run did not complete")
+		}
+	}
+}
+
+// BenchmarkRunTimelineSink attaches the heaviest consumer (event buffering).
+func BenchmarkRunTimelineSink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys := benchSystem(b, probe.NewTimeline(0))
+		b.StartTimer()
+		if !sys.Run(10_000_000) {
+			b.Fatal("run did not complete")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package machine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"lightwsp/internal/isa"
+	"lightwsp/internal/probe"
+)
+
+// twoThreadCfg exercises both cores (and, via line interleaving, both MCs).
+func twoThreadCfg() Config {
+	cfg := smallCfg()
+	cfg.Threads = 2
+	return cfg
+}
+
+// probeRun executes a two-thread instrumented store workload with the given
+// sink attached and returns the finished system.
+func probeRun(t *testing.T, sink probe.Sink) *System {
+	t.Helper()
+	sys, err := NewSystem(compiled(t, storeProg(40, 0x1000)), twoThreadCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetProbeSink(sink)
+	if !sys.Run(10_000_000) {
+		t.Fatal("run did not complete")
+	}
+	return sys
+}
+
+func TestProbeCountsProtocolEvents(t *testing.T) {
+	ctr := &probe.Counter{}
+	sys := probeRun(t, ctr)
+	for _, k := range []probe.Kind{
+		probe.RegionClose, probe.BoundaryBroadcast, probe.BoundaryAck,
+		probe.WPQEnqueue, probe.WPQFlush,
+	} {
+		if ctr.ByKind[k] == 0 {
+			t.Errorf("no %v events emitted", k)
+		}
+	}
+	if got := ctr.ByKind[probe.RegionClose]; got != sys.Stats.RegionsClosed {
+		t.Errorf("RegionClose events = %d, Stats.RegionsClosed = %d", got, sys.Stats.RegionsClosed)
+	}
+	if got := ctr.ByKind[probe.WPQFlush]; got != sys.Stats.PersistFlushed {
+		t.Errorf("WPQFlush events = %d, Stats.PersistFlushed = %d", got, sys.Stats.PersistFlushed)
+	}
+}
+
+func TestProbeSinkDoesNotPerturbSimulation(t *testing.T) {
+	plain := probeRun(t, nil)
+	probed := probeRun(t, &probe.Counter{})
+	if plain.Stats != probed.Stats {
+		t.Fatalf("stats diverge with a sink attached:\n%+v\n%+v", plain.Stats, probed.Stats)
+	}
+	if !plain.PM().Equal(probed.PM()) {
+		t.Fatal("persisted images diverge with a sink attached")
+	}
+}
+
+// TestProbeTimelineGoldenSchema is the golden check on the exported Chrome
+// trace: a valid trace-event JSON document with at least one region slice and
+// boundary instant on every core track and at least one WPQ-flush instant on
+// every MC track, all tracks named via metadata events.
+func TestProbeTimelineGoldenSchema(t *testing.T) {
+	tl := probe.NewTimeline(0)
+	sys := probeRun(t, tl)
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   uint64         `json:"ts"`
+			Dur  uint64         `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	if doc.Metadata["dropped-events"] != float64(0) {
+		t.Fatalf("dropped-events = %v, want 0", doc.Metadata["dropped-events"])
+	}
+
+	regionSlices := map[int]int{} // core -> count
+	boundaries := map[int]int{}   // core -> count
+	flushes := map[int]int{}      // mc -> count
+	occupancy := map[int]int{}    // mc -> counter samples
+	threadNames := map[string]bool{}
+	processNames := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event with empty name: %+v", e)
+		}
+		switch e.Ph {
+		case "X", "C":
+		case "i":
+			if e.S != "t" && e.S != "g" {
+				t.Fatalf("instant %q has scope %q", e.Name, e.S)
+			}
+		case "M":
+			switch e.Name {
+			case "process_name":
+				processNames[e.Pid] = e.Args["name"].(string)
+			case "thread_name":
+				threadNames[fmt.Sprintf("%d/%d", e.Pid, e.Tid)] = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q on %q", e.Ph, e.Name)
+		}
+		switch {
+		case strings.HasPrefix(e.Name, "region ") && e.Ph == "X" && e.Pid == 1:
+			regionSlices[e.Tid]++
+			if e.Ts+e.Dur > sys.Stats.Cycles {
+				t.Fatalf("region slice ends at %d, past cycle %d", e.Ts+e.Dur, sys.Stats.Cycles)
+			}
+		case strings.HasPrefix(e.Name, "boundary ") && e.Pid == 1:
+			boundaries[e.Tid]++
+		case e.Name == "wpq-flush" && e.Pid == 2:
+			flushes[e.Tid]++
+		case strings.HasPrefix(e.Name, "wpq") && e.Ph == "C" && e.Pid == 2:
+			occupancy[e.Tid]++
+		}
+	}
+	if processNames[1] != "cores" || processNames[2] != "memory controllers" {
+		t.Fatalf("process names = %v", processNames)
+	}
+	for core := 0; core < 2; core++ {
+		if regionSlices[core] == 0 {
+			t.Errorf("core %d track has no region slice", core)
+		}
+		if boundaries[core] == 0 {
+			t.Errorf("core %d track has no boundary instant", core)
+		}
+		if !threadNames[fmt.Sprintf("1/%d", core)] {
+			t.Errorf("core %d track unnamed", core)
+		}
+	}
+	for mc := 0; mc < 2; mc++ {
+		if flushes[mc] == 0 {
+			t.Errorf("mc %d track has no wpq-flush instant", mc)
+		}
+		if occupancy[mc] == 0 {
+			t.Errorf("mc %d track has no occupancy counter", mc)
+		}
+		if !threadNames[fmt.Sprintf("2/%d", mc)] {
+			t.Errorf("mc %d track unnamed", mc)
+		}
+	}
+}
+
+func TestProbePowerFailAndRecoveryMilestones(t *testing.T) {
+	prog := compiled(t, storeProg(40, 0x1000))
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := &probe.Counter{}
+	sys.SetProbeSink(ctr)
+	sys.RunUntil(200)
+	rep := sys.PowerFail()
+	if ctr.ByKind[probe.PowerFailCut] != 1 {
+		t.Fatalf("PowerFailCut events = %d", ctr.ByKind[probe.PowerFailCut])
+	}
+	if ctr.ByKind[probe.PowerFailDrained] != 1 {
+		t.Fatalf("PowerFailDrained events = %d", ctr.ByKind[probe.PowerFailDrained])
+	}
+
+	states := []ThreadState{{PC: isa.UnpackPC(sys.PM().Read(ckptPCAddr(0))), SP: sys.PM().Read(ckptSPAddr(0))}}
+	for r := 0; r < isa.NumRegs; r++ {
+		states[0].Regs[r] = sys.PM().Read(ckptRegAddr(0, r))
+	}
+	rec, err := NewRecoveredSystem(prog, smallCfg(), lightScheme(), sys.PM(), states, rep.RegionCounter+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctr := &probe.Counter{}
+	rec.SetProbeSink(rctr)
+	if rctr.ByKind[probe.RecoveryBoot] != 1 {
+		t.Fatalf("RecoveryBoot events = %d", rctr.ByKind[probe.RecoveryBoot])
+	}
+	// A fresh (non-recovered) system must not claim a recovery boot.
+	if ctr.ByKind[probe.RecoveryBoot] != 0 {
+		t.Fatalf("fresh system emitted RecoveryBoot")
+	}
+}

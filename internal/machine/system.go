@@ -7,6 +7,7 @@ import (
 	"lightwsp/internal/mem"
 	"lightwsp/internal/noc"
 	"lightwsp/internal/persistpath"
+	"lightwsp/internal/probe"
 	"lightwsp/internal/trace"
 	"lightwsp/internal/wpq"
 )
@@ -39,6 +40,14 @@ type System struct {
 
 	// ptrace, when set, records every WPQ→PM write (SetPersistTrace).
 	ptrace *trace.PersistTrace
+
+	// probe, when set, receives cycle-level instrumentation events
+	// (SetProbeSink); nil keeps every emit site to a single branch.
+	probe probe.Sink
+
+	// recovered marks a machine booted from a crash image, so an attached
+	// sink gets the recovery milestone.
+	recovered bool
 
 	statsFinal bool // finalizeStats already folded component counters in
 
@@ -92,6 +101,7 @@ func NewRecoveredSystem(prog *isa.Program, cfg Config, scheme Scheme, pmImage *m
 	}
 	s.pm = pmImage
 	s.arch = pmImage.Clone()
+	s.recovered = true
 	for t := 0; t < cfg.Threads; t++ {
 		c := s.cores[t]
 		c.active = true
@@ -229,6 +239,13 @@ func (s *System) onFlush(mcID int, e wpq.Entry) {
 	if e.Core >= 0 && e.Core < len(s.cores) {
 		s.cores[e.Core].outstanding--
 	}
+	if s.probe != nil {
+		// The entry is already off the queue; +1 restores the occupancy
+		// the flush sampled.
+		s.probe.Emit(probe.Event{Kind: probe.WPQFlush, Cycle: s.cycle,
+			Core: e.Core, MC: mcID, Region: e.Region, Addr: e.Addr,
+			Arg: uint64(s.mcs[mcID].q.Len() + 1)})
+	}
 	if s.ptrace != nil {
 		s.ptrace.Record(trace.PMWrite{
 			Cycle: s.cycle, MC: mcID, Addr: e.Addr, Val: e.Val,
@@ -240,6 +257,28 @@ func (s *System) onFlush(mcID int, e wpq.Entry) {
 // SetPersistTrace attaches a persist-order trace; every subsequent WPQ→PM
 // write is recorded. Pass nil to detach.
 func (s *System) SetPersistTrace(t *trace.PersistTrace) { s.ptrace = t }
+
+// SetProbeSink attaches a cycle-level instrumentation sink to the machine
+// and all its components; pass nil to detach. Attach before Run: regions
+// already open when the sink attaches are implied open at the current
+// cycle's start (consumers treat a close without an open as opened at 0,
+// which is exactly when NewSystem allocated the boot regions). Attaching
+// to a recovered machine emits the recovery milestone.
+func (s *System) SetProbeSink(sink probe.Sink) {
+	s.probe = sink
+	for _, c := range s.cores {
+		if c.path != nil {
+			c.path.SetProbe(sink)
+		}
+	}
+	for _, m := range s.mcs {
+		m.q.SetProbe(sink)
+	}
+	if sink != nil && s.recovered {
+		sink.Emit(probe.Event{Kind: probe.RecoveryBoot, Cycle: s.cycle,
+			Core: -1, MC: -1, Arg: s.regionCounter})
+	}
+}
 
 // Cycle returns the current cycle.
 func (s *System) Cycle() uint64 { return s.cycle }
@@ -291,7 +330,21 @@ func (s *System) Tick() {
 		c.path.DeliverReady(now, s.sink)
 	}
 	for _, m := range s.net.Deliver(now) {
-		s.mcs[m.To].q.OnMessage(m)
+		q := s.mcs[m.To].q
+		if s.probe == nil {
+			q.OnMessage(m)
+			continue
+		}
+		if m.Kind == noc.MsgBdryAck {
+			s.probe.Emit(probe.Event{Kind: probe.BoundaryAck, Cycle: now,
+				Core: -1, MC: m.To, Region: m.Region})
+		}
+		wasOverflow := q.InOverflow()
+		q.OnMessage(m)
+		if wasOverflow && !q.InOverflow() {
+			s.probe.Emit(probe.Event{Kind: probe.WPQOverflowExit, Cycle: now,
+				Core: -1, MC: m.To, Region: m.Region})
+		}
 	}
 	for _, m := range s.mcs {
 		m.q.Tick(now)
@@ -301,17 +354,47 @@ func (s *System) Tick() {
 // sink delivers a persist-path entry to its controller.
 func (s *System) sink(m int, e persistpath.Entry) bool {
 	q := s.mcs[m].q
-	if e.Control {
-		// Boundary replicas at non-home controllers carry no data; only
-		// the home copy occupies a WPQ slot and settles the core's
-		// outstanding count when it flushes.
-		q.AcceptControl(e.Region)
-		return true
+	if s.probe == nil {
+		if e.Control {
+			// Boundary replicas at non-home controllers carry no data;
+			// only the home copy occupies a WPQ slot and settles the
+			// core's outstanding count when it flushes.
+			q.AcceptControl(e.Region)
+			return true
+		}
+		return q.Accept(wpq.Entry{
+			Addr: e.Addr, Val: e.Val, Region: e.Region,
+			Boundary: e.Boundary, Core: e.Core, Born: e.Born,
+		})
 	}
-	return q.Accept(wpq.Entry{
-		Addr: e.Addr, Val: e.Val, Region: e.Region,
-		Boundary: e.Boundary, Core: e.Core, Born: e.Born,
-	})
+	// Instrumented path: same delivery, bracketed so WPQ enqueues and the
+	// overflow-escape transitions (which happen inside Accept and the
+	// boundary bookkeeping) emit with the global cycle attached.
+	wasOverflow := q.InOverflow()
+	var ok bool
+	if e.Control {
+		q.AcceptControl(e.Region)
+		ok = true
+	} else {
+		ok = q.Accept(wpq.Entry{
+			Addr: e.Addr, Val: e.Val, Region: e.Region,
+			Boundary: e.Boundary, Core: e.Core, Born: e.Born,
+		})
+		if ok {
+			s.probe.Emit(probe.Event{Kind: probe.WPQEnqueue, Cycle: s.cycle,
+				Core: e.Core, MC: m, Region: e.Region, Addr: e.Addr,
+				Arg: uint64(q.Len())})
+		}
+	}
+	switch {
+	case !wasOverflow && q.InOverflow():
+		s.probe.Emit(probe.Event{Kind: probe.WPQOverflowEnter, Cycle: s.cycle,
+			Core: -1, MC: m, Region: q.FlushID()})
+	case wasOverflow && !q.InOverflow():
+		s.probe.Emit(probe.Event{Kind: probe.WPQOverflowExit, Cycle: s.cycle,
+			Core: -1, MC: m, Region: e.Region})
+	}
+	return ok
 }
 
 // Run advances the machine until Done or maxCycles, returning whether the

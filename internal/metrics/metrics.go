@@ -1,0 +1,229 @@
+// Package metrics is the aggregating consumer of the probe event stream:
+// counters plus log-2-bucketed histograms of the distributions the paper's
+// evaluation cares about — per-region dynamic store counts, region
+// residency (open→close cycles, the denominator behaviour behind Eq. (1)'s
+// Tp), WPQ occupancy sampled at each flush, and FEB back-pressure burst
+// lengths (the shape of LightWSP's Twait). A Snapshot renders p50/p90/p99/
+// max in text and JSON and round-trips through the experiment harness's
+// run manifests, where per-run snapshots merge into suite-wide aggregates.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"lightwsp/internal/probe"
+	"lightwsp/internal/stats"
+)
+
+// Metrics accumulates probe events for one run. It implements probe.Sink
+// and is driven from a single simulation goroutine; it is not safe for
+// concurrent use.
+type Metrics struct {
+	// Counters.
+	Events        uint64
+	RegionsOpened uint64
+	RegionsClosed uint64
+	Boundaries    uint64 // boundary broadcasts dispatched
+	BoundaryAcks  uint64
+	Enqueues      uint64
+	Flushes       uint64
+	Overflows     uint64 // deadlock-escape activations
+	UndoWrites    uint64
+	StallBursts   uint64 // completed FEB back-pressure bursts
+	SnoopHits     uint64
+	PowerFails    uint64
+	Recoveries    uint64
+
+	// Distributions.
+	RegionStores    stats.Histogram // dynamic stores per closed region
+	RegionResidency stats.Histogram // open→close cycles per region
+	WPQOccupancy    stats.Histogram // queue occupancy sampled at each flush
+	StallBurst      stats.Histogram // FEB back-pressure burst lengths, cycles
+
+	// openCycle tracks each core's current region-open cycle; regions
+	// already open when the sink attaches (the boot regions) count from 0.
+	openCycle map[int]uint64
+}
+
+// New returns an empty metrics accumulator.
+func New() *Metrics {
+	return &Metrics{openCycle: map[int]uint64{}}
+}
+
+// Emit implements probe.Sink.
+func (m *Metrics) Emit(e probe.Event) {
+	m.Events++
+	switch e.Kind {
+	case probe.RegionOpen:
+		m.RegionsOpened++
+		m.openCycle[e.Core] = e.Cycle
+	case probe.RegionClose:
+		m.RegionsClosed++
+		m.RegionStores.Observe(e.Arg)
+		m.RegionResidency.Observe(e.Cycle - m.openCycle[e.Core])
+		delete(m.openCycle, e.Core)
+	case probe.BoundaryBroadcast:
+		m.Boundaries++
+	case probe.BoundaryAck:
+		m.BoundaryAcks++
+	case probe.WPQEnqueue:
+		m.Enqueues++
+	case probe.WPQFlush:
+		m.Flushes++
+		m.WPQOccupancy.Observe(e.Arg)
+	case probe.WPQOverflowEnter:
+		m.Overflows++
+	case probe.WPQUndo:
+		m.UndoWrites++
+	case probe.FEBStallStop:
+		m.StallBursts++
+		m.StallBurst.Observe(e.Arg)
+	case probe.SnoopHit:
+		m.SnoopHits++
+	case probe.PowerFailCut:
+		m.PowerFails++
+	case probe.RecoveryBoot:
+		m.Recoveries++
+	}
+}
+
+// HistSnapshot is the serialized summary of one histogram: headline
+// quantiles for humans plus the compact buckets, sum and max that make it
+// mergeable (the quantiles alone would not be).
+type HistSnapshot struct {
+	Count   uint64   `json:"count"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	Sum     uint64   `json:"sum"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+func snapHist(h *stats.Histogram) HistSnapshot {
+	return HistSnapshot{
+		Count:   h.Count,
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+		Max:     h.Max,
+		Mean:    h.Mean(),
+		Sum:     h.Sum,
+		Buckets: h.Compact(),
+	}
+}
+
+func (s HistSnapshot) restore() stats.Histogram {
+	return stats.RestoreHistogram(s.Buckets, s.Sum, s.Max)
+}
+
+// Snapshot is the portable form of a Metrics: what run manifests embed and
+// what -json outputs carry.
+type Snapshot struct {
+	Events        uint64 `json:"events"`
+	RegionsClosed uint64 `json:"regions_closed"`
+	Boundaries    uint64 `json:"boundaries"`
+	BoundaryAcks  uint64 `json:"boundary_acks"`
+	Enqueues      uint64 `json:"wpq_enqueues"`
+	Flushes       uint64 `json:"wpq_flushes"`
+	Overflows     uint64 `json:"wpq_overflows"`
+	UndoWrites    uint64 `json:"wpq_undo_writes"`
+	StallBursts   uint64 `json:"feb_stall_bursts"`
+	SnoopHits     uint64 `json:"snoop_hits"`
+	PowerFails    uint64 `json:"power_fails"`
+	Recoveries    uint64 `json:"recoveries"`
+
+	RegionStores    HistSnapshot `json:"region_stores"`
+	RegionResidency HistSnapshot `json:"region_residency_cycles"`
+	WPQOccupancy    HistSnapshot `json:"wpq_occupancy_at_flush"`
+	StallBurst      HistSnapshot `json:"feb_stall_burst_cycles"`
+}
+
+// Snapshot freezes the accumulator's current state.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Events:        m.Events,
+		RegionsClosed: m.RegionsClosed,
+		Boundaries:    m.Boundaries,
+		BoundaryAcks:  m.BoundaryAcks,
+		Enqueues:      m.Enqueues,
+		Flushes:       m.Flushes,
+		Overflows:     m.Overflows,
+		UndoWrites:    m.UndoWrites,
+		StallBursts:   m.StallBursts,
+		SnoopHits:     m.SnoopHits,
+		PowerFails:    m.PowerFails,
+		Recoveries:    m.Recoveries,
+
+		RegionStores:    snapHist(&m.RegionStores),
+		RegionResidency: snapHist(&m.RegionResidency),
+		WPQOccupancy:    snapHist(&m.WPQOccupancy),
+		StallBurst:      snapHist(&m.StallBurst),
+	}
+}
+
+// Merge folds a snapshot's observations into the accumulator — how the
+// experiment harness aggregates per-run metrics (including disk-cached
+// ones, whose snapshots carry the mergeable buckets) into one view.
+func (m *Metrics) Merge(s Snapshot) {
+	m.Events += s.Events
+	m.RegionsClosed += s.RegionsClosed
+	m.Boundaries += s.Boundaries
+	m.BoundaryAcks += s.BoundaryAcks
+	m.Enqueues += s.Enqueues
+	m.Flushes += s.Flushes
+	m.Overflows += s.Overflows
+	m.UndoWrites += s.UndoWrites
+	m.StallBursts += s.StallBursts
+	m.SnoopHits += s.SnoopHits
+	m.PowerFails += s.PowerFails
+	m.Recoveries += s.Recoveries
+
+	for _, h := range []struct {
+		dst *stats.Histogram
+		src HistSnapshot
+	}{
+		{&m.RegionStores, s.RegionStores},
+		{&m.RegionResidency, s.RegionResidency},
+		{&m.WPQOccupancy, s.WPQOccupancy},
+		{&m.StallBurst, s.StallBurst},
+	} {
+		restored := h.src.restore()
+		h.dst.Merge(&restored)
+	}
+}
+
+// MarshalJSON writes the snapshot form.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}
+
+// String renders the snapshot as a fixed-width table.
+func (m *Metrics) String() string { return m.Snapshot().String() }
+
+// String renders counters and histogram quantiles for terminals.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "events=%d regions=%d boundaries=%d acks=%d enqueues=%d flushes=%d overflows=%d undo=%d snoop-hits=%d\n",
+		s.Events, s.RegionsClosed, s.Boundaries, s.BoundaryAcks,
+		s.Enqueues, s.Flushes, s.Overflows, s.UndoWrites, s.SnoopHits)
+	tab := &stats.Table{
+		Columns: []string{"histogram", "count", "p50", "p90", "p99", "max", "mean"},
+	}
+	for _, row := range []struct {
+		name string
+		h    HistSnapshot
+	}{
+		{"region stores", s.RegionStores},
+		{"region residency (cyc)", s.RegionResidency},
+		{"wpq occupancy @flush", s.WPQOccupancy},
+		{"feb stall burst (cyc)", s.StallBurst},
+	} {
+		tab.Add(row.name, row.h.Count, row.h.P50, row.h.P90, row.h.P99, row.h.Max, row.h.Mean)
+	}
+	sb.WriteString(tab.String())
+	return sb.String()
+}

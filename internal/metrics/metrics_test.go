@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lightwsp/internal/probe"
+)
+
+// drive feeds a canned event sequence: two regions on core 0, one flush
+// burst on MC 1, one completed FEB stall.
+func drive(m *Metrics) {
+	m.Emit(probe.Event{Kind: probe.RegionOpen, Cycle: 0, Core: 0, Region: 1})
+	m.Emit(probe.Event{Kind: probe.RegionClose, Cycle: 100, Core: 0, Region: 1, Arg: 4})
+	m.Emit(probe.Event{Kind: probe.RegionOpen, Cycle: 100, Core: 0, Region: 2})
+	m.Emit(probe.Event{Kind: probe.RegionClose, Cycle: 500, Core: 0, Region: 2, Arg: 16})
+	m.Emit(probe.Event{Kind: probe.WPQEnqueue, Cycle: 50, MC: 1, Arg: 3})
+	m.Emit(probe.Event{Kind: probe.WPQFlush, Cycle: 60, MC: 1, Arg: 3})
+	m.Emit(probe.Event{Kind: probe.WPQFlush, Cycle: 61, MC: 1, Arg: 2})
+	m.Emit(probe.Event{Kind: probe.FEBStallStop, Cycle: 90, Core: 0, Arg: 30})
+	m.Emit(probe.Event{Kind: probe.BoundaryBroadcast, Cycle: 95, Core: 0, Region: 1})
+	m.Emit(probe.Event{Kind: probe.BoundaryAck, Cycle: 99, MC: 0, Region: 1})
+}
+
+func TestMetricsAccumulates(t *testing.T) {
+	m := New()
+	drive(m)
+	s := m.Snapshot()
+	if s.RegionsClosed != 2 || s.Flushes != 2 || s.Enqueues != 1 ||
+		s.StallBursts != 1 || s.Boundaries != 1 || s.BoundaryAcks != 1 {
+		t.Fatalf("counters wrong: %+v", s)
+	}
+	if s.RegionStores.Count != 2 || s.RegionStores.Max != 16 {
+		t.Fatalf("region stores hist: %+v", s.RegionStores)
+	}
+	// Residencies are 100 and 400 cycles.
+	if s.RegionResidency.Max != 400 || s.RegionResidency.Sum != 500 {
+		t.Fatalf("residency hist: %+v", s.RegionResidency)
+	}
+	if s.WPQOccupancy.Max != 3 || s.StallBurst.Max != 30 {
+		t.Fatalf("occupancy/stall hists: %+v / %+v", s.WPQOccupancy, s.StallBurst)
+	}
+}
+
+func TestBootRegionImpliedOpenAtZero(t *testing.T) {
+	// A close with no recorded open (the boot region predates the sink)
+	// must count residency from cycle 0.
+	m := New()
+	m.Emit(probe.Event{Kind: probe.RegionClose, Cycle: 250, Core: 3, Region: 1, Arg: 1})
+	if got := m.RegionResidency.Max; got != 250 {
+		t.Fatalf("boot-region residency = %d, want 250", got)
+	}
+}
+
+func TestSnapshotMergeEqualsCombinedStream(t *testing.T) {
+	a, b := New(), New()
+	drive(a)
+	drive(b)
+	b.Emit(probe.Event{Kind: probe.WPQFlush, Cycle: 70, MC: 0, Arg: 7})
+
+	merged := New()
+	merged.Merge(a.Snapshot())
+	merged.Merge(b.Snapshot())
+
+	direct := New()
+	drive(direct)
+	drive(direct)
+	direct.Emit(probe.Event{Kind: probe.WPQFlush, Cycle: 70, MC: 0, Arg: 7})
+
+	got, want := merged.Snapshot(), direct.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	m := New()
+	drive(m)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, m.Snapshot()) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", s, m.Snapshot())
+	}
+	for _, key := range []string{"region_stores", "wpq_occupancy_at_flush", "p99", "buckets"} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("JSON missing %q:\n%s", key, data)
+		}
+	}
+}
+
+func TestStringRendersQuantiles(t *testing.T) {
+	m := New()
+	drive(m)
+	out := m.String()
+	for _, want := range []string{"histogram", "p50", "p99", "region stores", "wpq occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,7 +9,10 @@
 // is exactly the skew LRPO must tolerate.
 package persistpath
 
-import "lightwsp/internal/mem"
+import (
+	"lightwsp/internal/mem"
+	"lightwsp/internal/probe"
+)
 
 // Entry is one unit of persist-path traffic.
 type Entry struct {
@@ -72,7 +75,14 @@ type Path struct {
 	FEBFullCycles  uint64 // cycles the buffer rejected an enqueue
 	SnoopConflicts uint64 // buffer-snooping CAM hits (§IV-G)
 	SnoopSearches  uint64 // buffer-snooping CAM searches
+
+	// probe, when set, receives boundary-broadcast events (the path is
+	// where a boundary replicates into every controller channel).
+	probe probe.Sink
 }
+
+// SetProbe attaches an instrumentation sink (nil detaches).
+func (p *Path) SetProbe(s probe.Sink) { p.probe = s }
 
 // New builds a persist path.
 func New(cfg Config) *Path {
@@ -174,6 +184,10 @@ func (p *Path) Tick(now uint64) {
 				c := e
 				c.Control = m != home
 				p.channels[m] = append(p.channels[m], inflight{e: c, arrival: now + p.cfg.Latency(m)})
+			}
+			if p.probe != nil {
+				p.probe.Emit(probe.Event{Kind: probe.BoundaryBroadcast, Cycle: now,
+					Core: e.Core, MC: -1, Region: e.Region})
 			}
 		} else {
 			m := p.cfg.MCOf(e.Addr)

@@ -1,0 +1,123 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMultiDropsNilsAndFansOut(t *testing.T) {
+	if s := Multi(nil, nil); s != nil {
+		t.Fatalf("Multi(nil, nil) = %v, want nil", s)
+	}
+	var a Counter
+	if s := Multi(nil, &a); s != Sink(&a) {
+		t.Fatalf("Multi with one live sink should return it unwrapped")
+	}
+	var b Counter
+	m := Multi(&a, nil, &b)
+	m.Emit(Event{Kind: WPQFlush})
+	m.Emit(Event{Kind: RegionClose})
+	for _, c := range []*Counter{&a, &b} {
+		if c.Total != 2 || c.ByKind[WPQFlush] != 1 || c.ByKind[RegionClose] != 1 {
+			t.Fatalf("counter = %+v", c)
+		}
+	}
+}
+
+func TestKindStringsAreDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for k := 0; k < NumKinds; k++ {
+		name := Kind(k).String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, name)
+		}
+		seen[name] = true
+	}
+	if Kind(NumKinds).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestTimelineCapDrops(t *testing.T) {
+	tl := NewTimeline(2)
+	for i := 0; i < 5; i++ {
+		tl.Emit(Event{Kind: SnoopHit, Core: 0, Cycle: uint64(i)})
+	}
+	if tl.Len() != 2 || tl.Dropped != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", tl.Len(), tl.Dropped)
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Metadata map[string]any `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Metadata["dropped-events"].(float64); got != 3 {
+		t.Fatalf("metadata dropped-events = %v, want 3", got)
+	}
+}
+
+func TestTimelinePairsRegionsAndStalls(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Emit(Event{Kind: RegionOpen, Cycle: 10, Core: 1, Region: 7})
+	tl.Emit(Event{Kind: FEBStallStop, Cycle: 30, Core: 1, Arg: 12})
+	tl.Emit(Event{Kind: RegionClose, Cycle: 40, Core: 1, Region: 7, Arg: 5})
+	// A close with no recorded open (boot region) is implied open at 0.
+	tl.Emit(Event{Kind: RegionClose, Cycle: 25, Core: 0, Region: 1, Arg: 2})
+	tl.Emit(Event{Kind: WPQOverflowEnter, Cycle: 50, MC: 0, Region: 7})
+	tl.Emit(Event{Kind: WPQOverflowExit, Cycle: 90, MC: 0, Region: 7})
+
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   uint64 `json:"ts"`
+			Dur  uint64 `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) (ts, dur uint64, ok bool) {
+		for _, e := range f.TraceEvents {
+			if e.Name == name && e.Ph == "X" {
+				return e.Ts, e.Dur, true
+			}
+		}
+		return 0, 0, false
+	}
+	if ts, dur, ok := find("region 7"); !ok || ts != 10 || dur != 30 {
+		t.Fatalf("region 7 slice = (%d, %d, %v), want (10, 30, true)", ts, dur, ok)
+	}
+	if ts, dur, ok := find("region 1"); !ok || ts != 0 || dur != 25 {
+		t.Fatalf("boot region slice = (%d, %d, %v), want (0, 25, true)", ts, dur, ok)
+	}
+	if ts, dur, ok := find("feb-stall"); !ok || ts != 18 || dur != 12 {
+		t.Fatalf("feb-stall slice = (%d, %d, %v), want (18, 12, true)", ts, dur, ok)
+	}
+	if ts, dur, ok := find("overflow-escape"); !ok || ts != 50 || dur != 40 {
+		t.Fatalf("overflow slice = (%d, %d, %v), want (50, 40, true)", ts, dur, ok)
+	}
+	// Track labels for every component seen.
+	names := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			names++
+		}
+	}
+	// 2 process names + core 0, core 1, mc 0.
+	if names != 5 {
+		t.Fatalf("%d metadata events, want 5:\n%s", names, strings.TrimSpace(buf.String()))
+	}
+}

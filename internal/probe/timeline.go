@@ -1,0 +1,241 @@
+package probe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DefaultTimelineCap bounds a Timeline's buffered events when the caller
+// passes no cap: 4 Mi events ≈ 270 MB of JSON, plenty for any workload the
+// CLI runs and small enough not to exhaust memory on a runaway trace.
+const DefaultTimelineCap = 4 << 20
+
+// Timeline buffers the event stream of one run and renders it as Chrome
+// trace-event JSON (the format chrome://tracing and Perfetto load): one
+// track per core under the "cores" process and one per memory controller
+// under the "memory controllers" process. Regions and FEB stall bursts
+// become duration ("X") slices, protocol events become instants, and WPQ
+// occupancy becomes a counter series.
+type Timeline struct {
+	events []Event
+	cap    int
+	// Dropped counts events discarded past the cap; the exported JSON
+	// carries the count in its metadata so a truncated timeline is visible
+	// as such.
+	Dropped uint64
+}
+
+// NewTimeline returns a timeline keeping at most cap events
+// (cap <= 0 means DefaultTimelineCap).
+func NewTimeline(cap int) *Timeline {
+	if cap <= 0 {
+		cap = DefaultTimelineCap
+	}
+	return &Timeline{cap: cap}
+}
+
+// Emit implements Sink.
+func (t *Timeline) Emit(e Event) {
+	if len(t.events) >= t.cap {
+		t.Dropped++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// Len returns the number of buffered events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// Chrome trace-event process IDs: one synthetic process per component
+// class, so Perfetto groups the per-core and per-MC tracks.
+const (
+	pidCores = 1
+	pidMCs   = 2
+)
+
+// traceEvent is one Chrome trace-event record. ts/dur are in microseconds
+// by convention; the timeline uses one microsecond per simulated cycle so
+// the UI's time axis reads directly as cycles.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object format of a Chrome trace.
+type traceFile struct {
+	TraceEvents []traceEvent   `json:"traceEvents"`
+	Metadata    map[string]any `json:"metadata,omitempty"`
+}
+
+// WriteJSON renders the buffered events as Chrome trace-event JSON.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	out := traceFile{
+		TraceEvents: t.render(),
+		Metadata: map[string]any{
+			"tool":           "lightwsp",
+			"time-unit":      "1 us = 1 cycle",
+			"events":         len(t.events),
+			"dropped-events": t.Dropped,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteFile writes the timeline to path (see WriteJSON).
+func (t *Timeline) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// render converts the event stream into trace events, pairing region opens
+// with closes and overflow enters with exits.
+func (t *Timeline) render() []traceEvent {
+	var out []traceEvent
+	coreSeen := map[int]bool{}
+	mcSeen := map[int]bool{}
+	// Open-region cycle per core (regions opened before the sink attached
+	// — the boot regions — are implied open at cycle 0, which is when
+	// NewSystem opened them).
+	regionOpen := map[int]uint64{}
+	overflowStart := map[int]uint64{}
+	lastCycle := uint64(0)
+
+	instant := func(e Event, name string, pid, tid int, args map[string]any) {
+		out = append(out, traceEvent{Name: name, Ph: "i", Ts: e.Cycle, Pid: pid, Tid: tid, S: "t", Args: args})
+	}
+
+	for _, e := range t.events {
+		if e.Cycle > lastCycle {
+			lastCycle = e.Cycle
+		}
+		if e.Core >= 0 {
+			coreSeen[e.Core] = true
+		}
+		if e.MC >= 0 {
+			mcSeen[e.MC] = true
+		}
+		switch e.Kind {
+		case RegionOpen:
+			regionOpen[e.Core] = e.Cycle
+		case RegionClose:
+			open := regionOpen[e.Core]
+			delete(regionOpen, e.Core)
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("region %d", e.Region), Ph: "X",
+				Ts: open, Dur: e.Cycle - open, Pid: pidCores, Tid: e.Core,
+				Args: map[string]any{"region": e.Region, "stores": e.Arg},
+			})
+		case BoundaryBroadcast:
+			instant(e, fmt.Sprintf("boundary r%d", e.Region), pidCores, e.Core, nil)
+		case BoundaryAck:
+			instant(e, fmt.Sprintf("bdry-ack r%d", e.Region), pidMCs, e.MC, nil)
+		case WPQEnqueue:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wpq%d occupancy", e.MC), Ph: "C",
+				Ts: e.Cycle, Pid: pidMCs, Tid: e.MC,
+				Args: map[string]any{"entries": e.Arg},
+			})
+		case WPQFlush:
+			instant(e, "wpq-flush", pidMCs, e.MC, map[string]any{
+				"region": e.Region, "addr": fmt.Sprintf("%#x", e.Addr), "occupancy": e.Arg,
+			})
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("wpq%d occupancy", e.MC), Ph: "C",
+				Ts: e.Cycle, Pid: pidMCs, Tid: e.MC,
+				Args: map[string]any{"entries": e.Arg - 1},
+			})
+		case WPQOverflowEnter:
+			overflowStart[e.MC] = e.Cycle
+		case WPQOverflowExit:
+			start, ok := overflowStart[e.MC]
+			if !ok {
+				start = e.Cycle
+			}
+			delete(overflowStart, e.MC)
+			out = append(out, traceEvent{
+				Name: "overflow-escape", Ph: "X", Ts: start, Dur: e.Cycle - start,
+				Pid: pidMCs, Tid: e.MC, Args: map[string]any{"region": e.Region},
+			})
+		case WPQUndo:
+			instant(e, "wpq-undo", pidMCs, e.MC, map[string]any{
+				"addr": fmt.Sprintf("%#x", e.Addr), "records": e.Arg,
+			})
+		case FEBStallStart:
+			// The matching FEBStallStop carries the burst; starts render
+			// only when the run ends mid-stall (handled below via the
+			// events loop not seeing a stop — nothing to do here).
+		case FEBStallStop:
+			out = append(out, traceEvent{
+				Name: "feb-stall", Ph: "X", Ts: e.Cycle - e.Arg, Dur: e.Arg,
+				Pid: pidCores, Tid: e.Core, Args: map[string]any{"cycles": e.Arg},
+			})
+		case SnoopHit:
+			instant(e, "snoop-hit", pidCores, e.Core, map[string]any{
+				"line": fmt.Sprintf("%#x", e.Addr),
+			})
+		case PowerFailCut:
+			instant(e, "power-fail", pidCores, 0, nil)
+			out[len(out)-1].S = "g" // global scope: draws across all tracks
+		case PowerFailDrained:
+			instant(e, "drain-done", pidCores, 0, map[string]any{"discarded": e.Arg})
+			out[len(out)-1].S = "g"
+		case RecoveryBoot:
+			instant(e, "recovery-boot", pidCores, 0, map[string]any{"region-counter": e.Arg})
+			out[len(out)-1].S = "g"
+		}
+	}
+	// Close out still-open overflow spans so they remain visible.
+	for mc, start := range overflowStart {
+		out = append(out, traceEvent{
+			Name: "overflow-escape", Ph: "X", Ts: start, Dur: lastCycle - start,
+			Pid: pidMCs, Tid: mc,
+		})
+	}
+	return append(t.metadataEvents(coreSeen, mcSeen), out...)
+}
+
+// metadataEvents names the processes and threads so the trace UI labels the
+// tracks; they sort first so viewers pick them up before any data.
+func (t *Timeline) metadataEvents(coreSeen, mcSeen map[int]bool) []traceEvent {
+	name := func(pid, tid int, kind, val string) traceEvent {
+		return traceEvent{Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": val}}
+	}
+	out := []traceEvent{
+		name(pidCores, 0, "process_name", "cores"),
+		name(pidMCs, 0, "process_name", "memory controllers"),
+	}
+	for _, id := range sortedKeys(coreSeen) {
+		out = append(out, name(pidCores, id, "thread_name", fmt.Sprintf("core %d", id)))
+	}
+	for _, id := range sortedKeys(mcSeen) {
+		out = append(out, name(pidMCs, id, "thread_name", fmt.Sprintf("mc %d", id)))
+	}
+	return out
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -7,6 +7,8 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sort"
 	"strings"
 )
 
@@ -47,6 +49,146 @@ func Max(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// Percentiles returns the nearest-rank percentiles of xs for each p in ps
+// (p in [0, 100]); xs need not be sorted and is not modified. An empty xs
+// yields all zeros.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	for i, p := range ps {
+		rank := int(math.Ceil(p / 100 * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		out[i] = sorted[rank-1]
+	}
+	return out
+}
+
+// NumHistBuckets is the bucket count of Histogram: one per possible uint64
+// bit length (0..64).
+const NumHistBuckets = 65
+
+// Histogram counts uint64 observations in log-2 buckets: bucket i holds the
+// values of bit length i, so bucket 0 = {0}, bucket 1 = {1}, bucket 2 =
+// {2, 3}, bucket 3 = {4..7}, and so on. Quantiles come back as the bucket
+// upper bound — a factor-of-two approximation that is exactly what the
+// observability layer needs from distributions spanning many decades
+// (residency cycles, stall bursts) at a fixed 65-counter footprint.
+type Histogram struct {
+	Buckets [NumHistBuckets]uint64 `json:"buckets"`
+	Count   uint64                 `json:"count"`
+	Sum     uint64                 `json:"sum"`
+	Max     uint64                 `json:"max"`
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.Buckets[bits.Len64(v)]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the exact arithmetic mean of the observations (the Sum is
+// kept exactly), or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns the upper bound of the bucket holding the nearest-rank
+// p-quantile (p in [0, 1]), capped at the observed maximum; 0 when empty.
+func (h *Histogram) Quantile(p float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= rank {
+			bound := bucketUpper(i)
+			if bound > h.Max {
+				bound = h.Max
+			}
+			return bound
+		}
+	}
+	return h.Max
+}
+
+// bucketUpper is the largest value bucket i holds.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Merge adds o's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+}
+
+// Compact returns the buckets trimmed to the highest non-empty one (the
+// serialization form); Restore is its inverse.
+func (h *Histogram) Compact() []uint64 {
+	hi := -1
+	for i, c := range h.Buckets {
+		if c != 0 {
+			hi = i
+		}
+	}
+	return append([]uint64(nil), h.Buckets[:hi+1]...)
+}
+
+// RestoreHistogram rebuilds a histogram from its compact serialization
+// (buckets, sum, max); counts are derived from the buckets.
+func RestoreHistogram(buckets []uint64, sum, max uint64) Histogram {
+	var h Histogram
+	for i, c := range buckets {
+		if i >= NumHistBuckets {
+			break
+		}
+		h.Buckets[i] = c
+		h.Count += c
+	}
+	h.Sum, h.Max = sum, max
+	return h
+}
+
+// String renders the headline quantiles, e.g. for log lines.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%d p90=%d p99=%d max=%d",
+		h.Count, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Max)
 }
 
 // Table renders rows under a header with aligned columns, for the harness's

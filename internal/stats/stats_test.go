@@ -69,6 +69,123 @@ func TestMeanAndMax(t *testing.T) {
 	}
 }
 
+func TestPercentiles(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		ps   []float64
+		want []float64
+	}{
+		{"empty", nil, []float64{50, 99}, []float64{0, 0}},
+		{"single", []float64{7}, []float64{0, 50, 100}, []float64{7, 7, 7}},
+		{"unsorted", []float64{9, 1, 5, 3, 7}, []float64{50, 90, 100}, []float64{5, 9, 9}},
+		{"ten", []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}, []float64{10, 50, 90, 99}, []float64{1, 5, 9, 10}},
+		{"duplicates", []float64{2, 2, 2, 2}, []float64{50, 99}, []float64{2, 2}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Percentiles(c.xs, c.ps...)
+			if len(got) != len(c.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(c.want))
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("p%g = %g, want %g", c.ps[i], got[i], c.want[i])
+				}
+			}
+		})
+	}
+	// The input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Percentiles(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentiles mutated its input: %v", xs)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		name   string
+		obs    []uint64
+		bucket int // bucket every observation must land in (-1: mixed)
+	}{
+		{"zero", []uint64{0}, 0},
+		{"one", []uint64{1}, 1},
+		{"two-three", []uint64{2, 3}, 2},
+		{"four-to-seven", []uint64{4, 5, 7}, 3},
+		{"large", []uint64{1 << 40}, 41},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range c.obs {
+				h.Observe(v)
+			}
+			if h.Buckets[c.bucket] != uint64(len(c.obs)) {
+				t.Fatalf("bucket %d = %d, want %d", c.bucket, h.Buckets[c.bucket], len(c.obs))
+			}
+			if h.Count != uint64(len(c.obs)) {
+				t.Fatalf("count = %d", h.Count)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 || empty.Max != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+
+	var single Histogram
+	single.Observe(13)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := single.Quantile(p); got != 13 {
+			t.Fatalf("single-element q%.2f = %d, want 13 (capped at max)", p, got)
+		}
+	}
+
+	// 0..999 observed unsorted: p50 lands in the bucket holding 500
+	// (bit length 9: 256..511 → upper bound 511), p100 is the max.
+	var h Histogram
+	for i := 999; i >= 0; i-- {
+		h.Observe(uint64(i))
+	}
+	if got := h.Quantile(0.5); got != 511 {
+		t.Fatalf("p50 = %d, want 511", got)
+	}
+	if got := h.Quantile(1); got != 999 {
+		t.Fatalf("p100 = %d, want 999 (capped at observed max)", got)
+	}
+	if h.Mean() != 499.5 {
+		t.Fatalf("mean = %g, want 499.5", h.Mean())
+	}
+}
+
+func TestHistogramMergeAndCompact(t *testing.T) {
+	var a, b Histogram
+	for i := uint64(0); i < 10; i++ {
+		a.Observe(i)
+	}
+	b.Observe(1 << 20)
+	a.Merge(&b)
+	if a.Count != 11 || a.Max != 1<<20 {
+		t.Fatalf("merged count=%d max=%d", a.Count, a.Max)
+	}
+	buckets := a.Compact()
+	if len(buckets) != 22 { // bit length of 1<<20 is 21 → buckets 0..21
+		t.Fatalf("compact len = %d, want 22", len(buckets))
+	}
+	r := RestoreHistogram(buckets, a.Sum, a.Max)
+	if r != a {
+		t.Fatalf("restore mismatch:\n got %+v\nwant %+v", r, a)
+	}
+	var zero Histogram
+	if got := zero.Compact(); len(got) != 0 {
+		t.Fatalf("empty compact = %v", got)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tab := &Table{Title: "demo", Columns: []string{"name", "value"}}
 	tab.Add("alpha", 1.5)

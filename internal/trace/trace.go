@@ -63,8 +63,13 @@ func (t *PersistTrace) Len() int { return len(t.Writes) }
 
 // VerifyRegionOrder checks the LRPO ordering invariants over the trace and
 // returns the first violation found, or nil. numMCs sizes the per-controller
-// cursor table.
+// cursor table. A capped trace that dropped events is an error: the retained
+// prefix may well be ordered while a violation sits in the dropped tail, so
+// a pass over it would prove nothing.
 func (t *PersistTrace) VerifyRegionOrder(numMCs int) error {
+	if t.Dropped > 0 {
+		return fmt.Errorf("trace dropped %d events past its %d-event cap; ordering cannot be verified", t.Dropped, t.cap)
+	}
 	perMC := make([]uint64, numMCs)
 	perAddr := map[uint64]uint64{}
 	for i, w := range t.Writes {

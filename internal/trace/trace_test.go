@@ -27,6 +27,42 @@ func TestRecordAndCap(t *testing.T) {
 	}
 }
 
+func TestSummaryReportsDropped(t *testing.T) {
+	tr := trace.New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(trace.PMWrite{MC: 0, Region: uint64(i), Addr: uint64(8 * i)})
+	}
+	sum := tr.Summary()
+	if !strings.Contains(sum, "3 dropped") {
+		t.Fatalf("summary hides the dropped count: %q", sum)
+	}
+}
+
+func TestVerifyRegionOrderRefusesCappedTrace(t *testing.T) {
+	// The retained prefix is perfectly ordered — but the trace dropped
+	// events, so a verification pass over it would prove nothing and must
+	// fail loudly instead.
+	tr := trace.New(2)
+	for i := 0; i < 5; i++ {
+		tr.Record(trace.PMWrite{MC: 0, Region: uint64(i), Addr: uint64(8 * i)})
+	}
+	err := tr.VerifyRegionOrder(1)
+	if err == nil {
+		t.Fatal("capped trace verified")
+	}
+	if !strings.Contains(err.Error(), "dropped 3") {
+		t.Fatalf("error hides the dropped count: %v", err)
+	}
+	// The same stream without a cap verifies fine.
+	full := trace.New(0)
+	for i := 0; i < 5; i++ {
+		full.Record(trace.PMWrite{MC: 0, Region: uint64(i), Addr: uint64(8 * i)})
+	}
+	if err := full.VerifyRegionOrder(1); err != nil {
+		t.Fatalf("uncapped trace rejected: %v", err)
+	}
+}
+
 func TestVerifyRegionOrderDetectsViolations(t *testing.T) {
 	ok := trace.New(0)
 	ok.Record(trace.PMWrite{MC: 0, Region: 1, Addr: 0x10})

@@ -18,6 +18,7 @@ import (
 
 	"lightwsp/internal/mem"
 	"lightwsp/internal/noc"
+	"lightwsp/internal/probe"
 )
 
 // Mode selects the queue's flush discipline.
@@ -97,6 +98,11 @@ type Queue struct {
 	overflow  bool
 	undoCount int
 
+	// probe, when set, receives the queue's internally-timed events (undo
+	// logging); the enclosing machine emits the rest (enqueue, flush,
+	// overflow transitions) where the global cycle is in scope.
+	probe probe.Sink
+
 	// Statistics.
 	Flushed      uint64 // entries written to PM
 	Committed    uint64 // regions committed at this controller
@@ -122,6 +128,9 @@ func New(cfg Config, sinks Sinks) *Queue {
 		flushAcks: map[uint64]int{},
 	}
 }
+
+// SetProbe attaches an instrumentation sink (nil detaches).
+func (q *Queue) SetProbe(s probe.Sink) { q.probe = s }
 
 // Len returns the current occupancy.
 func (q *Queue) Len() int { return len(q.entries) }
@@ -305,6 +314,10 @@ func (q *Queue) tickGated(now uint64) {
 			e := q.entries[i]
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
 			q.undoLog(e.Addr)
+			if q.probe != nil {
+				q.probe.Emit(probe.Event{Kind: probe.WPQUndo, Cycle: now,
+					Core: -1, MC: q.cfg.ID, Addr: e.Addr, Arg: uint64(q.undoCount)})
+			}
 			q.writePM(e)
 			q.busyUntil = now + q.cfg.PMWriteInterval + q.cfg.PMWriteExtra + q.cfg.PMWriteInterval
 		}
