@@ -2,7 +2,7 @@
 // each reproduced table or figure. With no positional arguments it runs
 // everything; otherwise arguments name the experiments to run (fig7 fig8
 // fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18 tab2 regions
-// hwcost recovery ablation-lrpo ablation-compiler).
+// hwcost recovery crashfuzz ablation-lrpo ablation-compiler).
 //
 // The evaluation grid is embarrassingly parallel: every driver declares its
 // run set up front and distinct simulations fan out across a worker pool
@@ -20,8 +20,10 @@ import (
 	"runtime"
 	"time"
 
+	"lightwsp/internal/crashfuzz"
 	"lightwsp/internal/experiments"
 	"lightwsp/internal/metrics"
+	"lightwsp/internal/workload"
 )
 
 // benchReport is the machine-readable summary written by -json: the
@@ -98,6 +100,7 @@ func main() {
 		{"regions", func() (fmt.Stringer, error) { return experiments.RegionStats(r) }},
 		{"hwcost", func() (fmt.Stringer, error) { return experiments.HWCost(8, 2), nil }},
 		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoverySweep(10) }},
+		{"crashfuzz", func() (fmt.Stringer, error) { return crashfuzzSmoke(*workers) }},
 		{"ablation-lrpo", func() (fmt.Stringer, error) { return experiments.AblationLRPO(r) }},
 		{"ablation-compiler", func() (fmt.Stringer, error) { return experiments.AblationCompiler(r) }},
 	}
@@ -161,4 +164,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// crashfuzzResults renders a batch of crash-consistency campaigns.
+type crashfuzzResults []*crashfuzz.Result
+
+func (rs crashfuzzResults) String() string {
+	s := ""
+	for i, r := range rs {
+		if i > 0 {
+			s += "\n"
+		}
+		s += r.String()
+	}
+	return s
+}
+
+// crashfuzzSmoke runs the exhaustive crash-consistency smoke campaigns: every
+// cycle of each miniature fuzz profile is a power-cut point, with a two-cut
+// pass over the single-threaded profile to cover failure during recovery. Any
+// divergence is an error — the harness's job in the bench grid is to prove
+// there are none.
+func crashfuzzSmoke(workers int) (fmt.Stringer, error) {
+	pool := experiments.NewPool(workers)
+	var out crashfuzzResults
+	for _, p := range workload.FuzzSmokeProfiles() {
+		for cuts := 1; cuts <= 2; cuts++ {
+			res, err := crashfuzz.Run(crashfuzz.Config{
+				Profile: p,
+				Cuts:    cuts,
+				Seed:    1,
+				Pool:    pool,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Divergences > 0 {
+				return nil, fmt.Errorf("crashfuzz: %s/%s (%d cuts): %d divergence(s)",
+					p.Suite, p.Name, cuts, res.Divergences)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
 }

@@ -1,0 +1,167 @@
+// Command lightwsp-crashfuzz runs crash-consistency fuzzing campaigns: for
+// each selected workload it executes one failure-free oracle run, then
+// replays the workload injecting PowerFail at enumerated cycles (every cycle
+// below -threshold, probe-guided + seeded-random sampling above it), recovers,
+// resumes, and diffs the final persisted state against the oracle. Any
+// divergence is shrunk to a minimal failure schedule and written as a JSON
+// repro file that `-replay file.json` re-executes deterministically.
+//
+// Exit status: 0 — all campaigns passed (or a -replay no longer fails);
+// 1 — at least one divergence (or a -replay still fails); 2 — usage or
+// campaign error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"lightwsp/internal/crashfuzz"
+	"lightwsp/internal/experiments"
+	"lightwsp/internal/workload"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "", "workload suite (with -app; e.g. cpu2006)")
+		app   = flag.String("app", "", "workload name within -suite")
+		smoke = flag.Bool("smoke", false,
+			"fuzz the miniature smoke profiles (fast; exhaustive over every cycle)")
+		nightly = flag.Bool("nightly", false,
+			"fuzz the nightly profile set (smoke profiles plus real benchmarks, sampled)")
+		threshold = flag.Uint64("threshold", crashfuzz.DefaultExhaustiveThreshold,
+			"oracles at most this many cycles are fuzzed exhaustively; longer ones sampled")
+		points = flag.Int("points", crashfuzz.DefaultMaxInjections,
+			"sampled-mode random injection-cycle budget (plus probe-guided cycles)")
+		cuts = flag.Int("cuts", 1,
+			"successive power failures per schedule (>1 includes cuts during recovery)")
+		seed    = flag.Int64("seed", 1, "campaign seed (same seed = same schedule plan)")
+		workers = flag.Int("j", runtime.GOMAXPROCS(0), "replay worker-pool size")
+		outDir  = flag.String("out", "",
+			"directory for repro files and the campaign manifest (empty: none written)")
+		cacheDir = flag.String("cache", os.Getenv(experiments.CacheDirEnv),
+			"verdict-cache directory (empty disables; defaults to $"+experiments.CacheDirEnv+")")
+		jsonPath = flag.String("json", "", "write all campaign manifests to this file as JSON")
+		replay   = flag.String("replay", "",
+			"replay a repro file instead of running a campaign")
+		verbose = flag.Bool("v", false, "print progress lines")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments %v (workloads are selected by flag)\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	var profiles []workload.Profile
+	switch {
+	case *smoke:
+		profiles = workload.FuzzSmokeProfiles()
+	case *nightly:
+		profiles = workload.FuzzNightlyProfiles()
+	case *suite != "" && *app != "":
+		p, ok := findProfile(*suite, *app)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown workload %s/%s\n", *suite, *app)
+			os.Exit(2)
+		}
+		profiles = []workload.Profile{p}
+	default:
+		fmt.Fprintln(os.Stderr, "select workloads: -smoke, -nightly, or -suite S -app A")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var cache *experiments.BlobCache
+	if *cacheDir != "" {
+		cache = experiments.NewBlobCache(*cacheDir)
+	}
+	pool := experiments.NewPool(*workers)
+
+	start := time.Now()
+	divergences := 0
+	var results []*crashfuzz.Result
+	for _, p := range profiles {
+		cfg := crashfuzz.Config{
+			Profile:             p,
+			ExhaustiveThreshold: *threshold,
+			MaxInjections:       *points,
+			Cuts:                *cuts,
+			Seed:                *seed,
+			Pool:                pool,
+			Cache:               cache,
+			OutDir:              *outDir,
+		}
+		if *verbose {
+			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
+		res, err := crashfuzz.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s/%s: %v\n", p.Suite, p.Name, err)
+			os.Exit(2)
+		}
+		results = append(results, res)
+		divergences += res.Divergences
+		fmt.Println(res)
+		for _, path := range res.ReproPaths {
+			fmt.Printf("repro written: %s\n", path)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "\t")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	fmt.Printf("crashfuzz: %d campaign(s), %d divergence(s), %.1fs\n",
+		len(results), divergences, time.Since(start).Seconds())
+	if divergences > 0 {
+		os.Exit(1)
+	}
+}
+
+// findProfile resolves -suite/-app against the benchmark registry and the
+// fuzz profile sets, matching the suite case-insensitively.
+func findProfile(suite, app string) (workload.Profile, bool) {
+	for _, s := range workload.Suites() {
+		if strings.EqualFold(string(s), suite) {
+			if p, ok := workload.ByName(s, app); ok {
+				return p, true
+			}
+		}
+	}
+	for _, p := range workload.FuzzNightlyProfiles() {
+		if strings.EqualFold(string(p.Suite), suite) && p.Name == app {
+			return p, true
+		}
+	}
+	return workload.Profile{}, false
+}
+
+// runReplay re-executes one repro file and reports whether it still fails.
+func runReplay(path string) int {
+	r, err := crashfuzz.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("replaying %s: %s/%s, cuts %v\n", path, r.Profile.Suite, r.Profile.Name, r.Cuts)
+	if err := crashfuzz.ReplayRepro(r); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println("repro no longer fails: the divergence is fixed in this tree")
+	return 0
+}

@@ -1,0 +1,505 @@
+// Package crashfuzz is the crash-consistency fuzzing harness: it validates
+// LightWSP's central claim — all-or-nothing region persistence under
+// arbitrary power failure (§IV-F) — by making *every* cycle of a workload a
+// candidate failure point instead of the handful of hand-picked cycles unit
+// tests cover.
+//
+// A campaign runs the workload once crash-free to produce an oracle (final
+// persisted image + cycle count), then replays it injecting PowerFail at
+// enumerated cycles: exhaustively below a threshold, by seeded-random
+// sampling above it, always seeded with the "interesting" cycles the oracle
+// run's probe stream surfaced (boundary broadcasts, WPQ flushes, overflow-
+// escape transitions, undo-log writes, FEB back-pressure bursts). Each
+// injection drains, recovers, resumes to completion, and diffs the final
+// persisted state against the oracle — any divergence is a found bug.
+// Multi-cut schedules chain N successive power failures, including cuts at
+// cycle 0 of a recovered machine: a failure during recovery itself.
+//
+// Failing schedules are shrunk (shrink.go) to a minimal reproducer and
+// serialized as self-contained JSON repro files (repro.go) that
+// `lightwsp-crashfuzz -replay` re-executes deterministically.
+//
+// Campaigns reuse the experiments infrastructure: injections fan out over an
+// experiments.Pool, and passing verdicts are memoized in an
+// experiments.BlobCache keyed by the canonical run key + schedule, so a
+// repeated or resumed campaign skips every injection it has already proven.
+package crashfuzz
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/core"
+	"lightwsp/internal/experiments"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/stats"
+	"lightwsp/internal/workload"
+)
+
+// maxReplayCycles bounds any single replay segment chain.
+const maxReplayCycles = experiments.MaxRunCycles
+
+// Defaults for zero-valued Config knobs.
+const (
+	// DefaultExhaustiveThreshold: oracles at most this many cycles long are
+	// fuzzed at every cycle; longer ones are sampled.
+	DefaultExhaustiveThreshold = 4096
+	// DefaultMaxInjections is the sampled-mode random-cycle budget.
+	DefaultMaxInjections = 256
+	// DefaultMaxInteresting caps probe-guided injection cycles.
+	DefaultMaxInteresting = 64
+	// DefaultShrinkBudget caps replays spent minimizing one divergence.
+	DefaultShrinkBudget = 64
+)
+
+// Config describes one fuzzing campaign.
+type Config struct {
+	// Profile is the workload under test (any workload.Profile, including
+	// the miniature workload.FuzzSmokeProfiles set).
+	Profile workload.Profile
+	// Machine is the simulated hardware; a zero value means the scaled
+	// Table I configuration (experiments.ScaledConfig). Threads is always
+	// overridden from the profile.
+	Machine machine.Config
+	// Compiler configures region formation; a zero StoreThreshold resolves
+	// to half the WPQ size (§IV-A), exactly as the experiments Runner does.
+	Compiler compiler.Config
+
+	// ExhaustiveThreshold, MaxInjections and MaxInteresting tune the
+	// schedule planner (zero = package defaults).
+	ExhaustiveThreshold uint64
+	MaxInjections       int
+	MaxInteresting      int
+	// Cuts is the number of successive power failures per schedule
+	// (minimum 1). With Cuts > 1, every fourth schedule cuts again at
+	// cycle 0 of the recovered machine — a failure during recovery itself.
+	Cuts int
+	// Seed drives sampled-mode cycle selection and multi-cut offsets; the
+	// same seed always plans the same campaign.
+	Seed int64
+	// MaxCycles bounds each replay (zero = experiments.MaxRunCycles).
+	MaxCycles uint64
+
+	// Workers sizes the injection worker pool (zero = GOMAXPROCS); Pool,
+	// when non-nil, overrides it with a shared pool.
+	Workers int
+	Pool    *experiments.Pool
+	// Cache, when non-nil, memoizes passing verdicts so repeated campaigns
+	// skip proven injections. Ignored while CorruptPM is set.
+	Cache *experiments.BlobCache
+	// OutDir, when non-empty, receives one JSON repro file per divergence
+	// plus a manifest.json campaign summary.
+	OutDir string
+
+	// CorruptPM, when set, mutates the crash image after every drain and
+	// before recovery — an intentionally broken recovery used by the
+	// harness's own tests to prove divergences are caught and shrunk.
+	CorruptPM func(pm *mem.Image)
+	// Progress, if non-nil, receives occasional human-readable progress
+	// lines. Calls are serialized.
+	Progress func(string)
+}
+
+// Result is one campaign's manifest.
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Suite         string `json:"suite"`
+	App           string `json:"app"`
+	Scheme        string `json:"scheme"`
+	// KeyHash is the canonical run-key hash of the underlying simulation.
+	KeyHash string `json:"key_hash"`
+	// Mode is "exhaustive" (every cycle) or "sampled".
+	Mode string `json:"mode"`
+	Cuts int    `json:"cuts"`
+	Seed int64  `json:"seed"`
+	// OracleCycles and OracleHash identify the failure-free reference run.
+	OracleCycles uint64 `json:"oracle_cycles"`
+	OracleHash   string `json:"oracle_hash"`
+	// CyclesCovered is the number of distinct first-cut cycles injected.
+	CyclesCovered int `json:"cycles_covered"`
+	// InterestingCycles counts probe-guided injection points.
+	InterestingCycles int `json:"interesting_cycles"`
+	// Injections counts power cuts actually fired across all replays;
+	// CacheHits counts schedules skipped via memoized passing verdicts.
+	Injections int `json:"injections"`
+	CacheHits  int `json:"cache_hits"`
+	// Divergences counts schedules whose final state differed from the
+	// oracle; Repros holds their shrunk reproducers.
+	Divergences int      `json:"divergences"`
+	Repros      []Repro  `json:"repros,omitempty"`
+	ReproPaths  []string `json:"repro_paths,omitempty"`
+	// ShrinkReplays counts the extra replays spent minimizing divergences.
+	ShrinkReplays    int     `json:"shrink_replays"`
+	Workers          int     `json:"workers"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	InjectionsPerSec float64 `json:"injections_per_sec"`
+}
+
+// String renders the campaign summary as a table.
+func (r *Result) String() string {
+	t := &stats.Table{
+		Title:   fmt.Sprintf("crashfuzz %s/%s (%s)", r.Suite, r.App, r.Scheme),
+		Columns: []string{"metric", "value"},
+	}
+	t.Add("mode", fmt.Sprintf("%s, %d cut(s), seed %d", r.Mode, r.Cuts, r.Seed))
+	t.Add("oracle", fmt.Sprintf("%d cycles, hash %s", r.OracleCycles, r.OracleHash))
+	t.Add("cycles covered", r.CyclesCovered)
+	t.Add("probe-guided cycles", r.InterestingCycles)
+	t.Add("injections fired", r.Injections)
+	t.Add("cached verdicts", r.CacheHits)
+	t.Add("divergences", r.Divergences)
+	t.Add("injections/sec", fmt.Sprintf("%.0f", r.InjectionsPerSec))
+	return t.String()
+}
+
+// campaign carries the resolved state one Run shares across workers.
+type campaign struct {
+	cfg       Config
+	rt        *core.Runtime
+	mcfg      machine.Config
+	orc       *oracle
+	key       string
+	maxCycles uint64
+
+	mu       sync.Mutex
+	done     int
+	diverged int
+}
+
+// verdictEntry is the cached record of one schedule proven non-diverging.
+type verdictEntry struct {
+	SchemaVersion int    `json:"schema_version"`
+	Key           string `json:"key"`
+	Fired         int    `json:"fired"`
+}
+
+// Run executes one campaign and returns its manifest. Campaign errors
+// (workload build failures, replays exceeding MaxCycles, unwritable OutDir)
+// are returned as errors; divergences are results, not errors.
+func Run(cfg Config) (*Result, error) {
+	start := time.Now()
+	p := cfg.Profile
+
+	mcfg := cfg.Machine
+	if mcfg.Cores == 0 {
+		mcfg = experiments.ScaledConfig()
+	}
+	if p.Threads > 0 {
+		mcfg.Threads = p.Threads
+	}
+	if mcfg.Threads < 1 {
+		mcfg.Threads = 1
+	}
+	if mcfg.Threads > mcfg.Cores {
+		mcfg.Cores = mcfg.Threads
+	}
+	ccfg := cfg.Compiler
+	if ccfg.StoreThreshold == 0 {
+		ccfg.StoreThreshold = mcfg.WPQEntries / 2
+		if ccfg.MaxUnroll == 0 {
+			ccfg.MaxUnroll = compiler.DefaultConfig().MaxUnroll
+		}
+	}
+	rt, err := buildRuntime(p, ccfg, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	maxCycles := cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = maxReplayCycles
+	}
+	maxInteresting := cfg.MaxInteresting
+	if maxInteresting == 0 {
+		maxInteresting = DefaultMaxInteresting
+	}
+
+	orc, interesting, err := buildOracle(rt, maxCycles, maxInteresting)
+	if err != nil {
+		return nil, err
+	}
+	key, keyHash := experiments.CanonicalRunKey(p, rt.Sch, mcfg, ccfg)
+
+	scheds, mode := plan(cfg, orc.cycles, interesting)
+	c := &campaign{cfg: cfg, rt: rt, mcfg: mcfg, orc: orc, key: key, maxCycles: maxCycles}
+
+	pool := cfg.Pool
+	if pool == nil {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		pool = experiments.NewPool(workers)
+	}
+
+	outcomes := make([]outcome, len(scheds))
+	var wg sync.WaitGroup
+	for i := range scheds {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool.Do(func() { outcomes[i] = c.resolve(scheds[i]) })
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{
+		SchemaVersion:     ReproSchemaVersion,
+		Suite:             string(p.Suite),
+		App:               p.Name,
+		Scheme:            rt.Sch.Name,
+		KeyHash:           keyHash,
+		Mode:              mode,
+		Cuts:              maxInt(cfg.Cuts, 1),
+		Seed:              cfg.Seed,
+		OracleCycles:      orc.cycles,
+		OracleHash:        orc.hash,
+		CyclesCovered:     len(scheds),
+		InterestingCycles: len(interesting),
+		Workers:           pool.Size(),
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("crashfuzz: schedule %v: %w", scheds[i], o.err)
+		}
+		res.Injections += o.fired
+		res.ShrinkReplays += o.shrinkReplays
+		if o.cached {
+			res.CacheHits++
+		}
+		if o.repro != nil {
+			res.Divergences++
+			o.repro.Seed = cfg.Seed
+			o.repro.KeyHash = keyHash
+			res.Repros = append(res.Repros, *o.repro)
+		}
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.InjectionsPerSec = float64(res.Injections) / res.WallSeconds
+	}
+	if err := writeArtifacts(cfg.OutDir, res); err != nil {
+		return nil, err
+	}
+	c.progress(fmt.Sprintf("crashfuzz %s/%s: %s over %d schedules, %d injections (%d cached), %d divergences, %.1fs",
+		p.Suite, p.Name, mode, len(scheds), res.Injections, res.CacheHits, res.Divergences, res.WallSeconds))
+	return res, nil
+}
+
+// outcome is one schedule's resolution.
+type outcome struct {
+	cached        bool
+	fired         int
+	shrinkReplays int
+	repro         *Repro
+	err           error
+}
+
+// resolve replays one schedule: cached verdict, or replay + verdict, with
+// shrinking on divergence.
+func (c *campaign) resolve(sched Schedule) outcome {
+	defer c.tick()
+	vkey, vhash := c.verdictKey(sched)
+	useCache := c.cfg.Cache != nil && c.cfg.CorruptPM == nil
+	if useCache {
+		var e verdictEntry
+		if c.cfg.Cache.ReadJSON(vhash, &e) {
+			if e.SchemaVersion == ReproSchemaVersion && e.Key == vkey {
+				return outcome{cached: true, fired: e.Fired}
+			}
+			c.cfg.Cache.Remove(vhash)
+		}
+	}
+	rep, err := Replay(c.rt, sched, c.maxCycles, c.cfg.CorruptPM)
+	if err != nil {
+		return outcome{err: err}
+	}
+	if verr := verdict(rep.Sys, c.orc, c.mcfg.Threads); verr != nil {
+		return c.diverge(sched, rep, verr)
+	}
+	if useCache {
+		c.cfg.Cache.WriteJSON(vhash, verdictEntry{
+			SchemaVersion: ReproSchemaVersion, Key: vkey, Fired: rep.Fired,
+		})
+	}
+	return outcome{fired: rep.Fired}
+}
+
+// diverge shrinks a failing schedule and packages the minimal reproducer.
+func (c *campaign) diverge(sched Schedule, rep *ReplayResult, verr error) outcome {
+	fired := rep.Fired
+	fails := func(s Schedule) bool {
+		r, err := Replay(c.rt, s, c.maxCycles, c.cfg.CorruptPM)
+		if err != nil {
+			return false // a broken replay is not a reproduction
+		}
+		fired += r.Fired
+		return verdict(r.Sys, c.orc, c.mcfg.Threads) != nil
+	}
+	minimal, probes := Shrink(sched, fails, DefaultShrinkBudget)
+	// Re-derive the minimal schedule's diff for the repro file.
+	diff := verr
+	if mrep, err := Replay(c.rt, minimal, c.maxCycles, c.cfg.CorruptPM); err == nil {
+		if merr := verdict(mrep.Sys, c.orc, c.mcfg.Threads); merr != nil {
+			diff = merr
+		}
+	}
+	c.mu.Lock()
+	c.diverged++
+	c.mu.Unlock()
+	return outcome{
+		fired:         fired,
+		shrinkReplays: probes,
+		repro: &Repro{
+			SchemaVersion: ReproSchemaVersion,
+			Profile:       c.cfg.Profile,
+			Scheme:        c.rt.Sch,
+			Machine:       c.mcfg,
+			Compiler:      c.rt.Compiled.Config,
+			Cuts:          minimal,
+			OracleCycles:  c.orc.cycles,
+			OracleHash:    c.orc.hash,
+			Diff:          []string{diff.Error()},
+			Note:          fmt.Sprintf("shrunk from %v in %d replays", sched, probes),
+		},
+	}
+}
+
+// verdictKey extends the canonical run key with the fuzzing schema version
+// and the schedule, yielding the cache identity of one verdict.
+func (c *campaign) verdictKey(sched Schedule) (key, hash string) {
+	key = fmt.Sprintf("%s|crashfuzz:v%d|cuts=%v", c.key, ReproSchemaVersion, []uint64(sched))
+	sum := sha256.Sum256([]byte(key))
+	return key, hex.EncodeToString(sum[:])
+}
+
+// tick advances the progress counter, emitting a line every 512 schedules.
+func (c *campaign) tick() {
+	if c.cfg.Progress == nil {
+		return
+	}
+	c.mu.Lock()
+	c.done++
+	emit := c.done%512 == 0
+	done, diverged := c.done, c.diverged
+	c.mu.Unlock()
+	if emit {
+		c.progress(fmt.Sprintf("crashfuzz %s/%s: %d schedules resolved, %d divergences",
+			c.cfg.Profile.Suite, c.cfg.Profile.Name, done, diverged))
+	}
+}
+
+func (c *campaign) progress(line string) {
+	if c.cfg.Progress == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Progress(line)
+}
+
+// plan derives the campaign's failure schedules: the base (first-cut) cycles
+// and, for multi-cut campaigns, the follow-on cut offsets.
+func plan(cfg Config, total uint64, interesting []uint64) ([]Schedule, string) {
+	thresh := cfg.ExhaustiveThreshold
+	if thresh == 0 {
+		thresh = DefaultExhaustiveThreshold
+	}
+	var bases []uint64
+	mode := "exhaustive"
+	if total <= thresh {
+		bases = make([]uint64, 0, total)
+		for c := uint64(0); c < total; c++ {
+			bases = append(bases, c)
+		}
+	} else {
+		mode = "sampled"
+		budget := cfg.MaxInjections
+		if budget <= 0 {
+			budget = DefaultMaxInjections
+		}
+		seen := map[uint64]struct{}{}
+		add := func(c uint64) {
+			if c < total {
+				seen[c] = struct{}{}
+			}
+		}
+		// Probe-guided: each interesting cycle and its neighbours, where
+		// boundary/WPQ/escape state is in flight.
+		for _, ic := range interesting {
+			if ic > 0 {
+				add(ic - 1)
+			}
+			add(ic)
+			add(ic + 1)
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for i := 0; i < budget; i++ {
+			add(rng.Uint64() % total)
+		}
+		bases = make([]uint64, 0, len(seen))
+		for c := range seen {
+			bases = append(bases, c)
+		}
+		sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	}
+
+	cuts := maxInt(cfg.Cuts, 1)
+	scheds := make([]Schedule, 0, len(bases))
+	for i, base := range bases {
+		s := Schedule{base}
+		if cuts > 1 {
+			// Per-base deterministic offsets; every fourth schedule's
+			// second cut lands at cycle 0 of the recovered machine — a
+			// power failure during recovery itself.
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64((base+1)*0x9E3779B97F4A7C15)))
+			for k := 1; k < cuts; k++ {
+				if k == 1 && i%4 == 0 {
+					s = append(s, 0)
+					continue
+				}
+				s = append(s, rng.Uint64()%total)
+			}
+		}
+		scheds = append(scheds, s)
+	}
+	return scheds, mode
+}
+
+// writeArtifacts persists the campaign's repro files and manifest.
+func writeArtifacts(dir string, res *Result) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := range res.Repros {
+		path := filepath.Join(dir, fmt.Sprintf("repro-%s-%02d.json", res.KeyHash[:12], i))
+		if err := res.Repros[i].WriteFile(path); err != nil {
+			return err
+		}
+		res.ReproPaths = append(res.ReproPaths, path)
+	}
+	blobs := experiments.NewBlobCache(dir)
+	blobs.WriteJSON("manifest", res)
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

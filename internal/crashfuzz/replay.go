@@ -1,0 +1,92 @@
+package crashfuzz
+
+import (
+	"fmt"
+
+	"lightwsp/internal/core"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/recovery"
+)
+
+// Schedule is one failure schedule: a sequence of power-cut cycles. Cut i
+// fires when the machine of segment i — the initial run for i = 0, the i-th
+// recovered machine afterwards — reaches that cycle of its own counter
+// (recovered machines restart at cycle 0). A cut of 0 therefore cuts power
+// the instant the previous recovery hands off, before a single cycle
+// executes: the model's tightest "failure during recovery itself".
+//
+// A cut whose cycle lies beyond the segment's completion never fires (the
+// run finishes first); the replay then skips the remaining cuts.
+type Schedule []uint64
+
+// String renders the schedule compactly for logs and error messages.
+func (s Schedule) String() string {
+	return fmt.Sprintf("%v", []uint64(s))
+}
+
+// clone returns an independent copy.
+func (s Schedule) clone() Schedule { return append(Schedule{}, s...) }
+
+// ReplayResult is one schedule's outcome.
+type ReplayResult struct {
+	// Sys is the final machine, run to completion after the last cut.
+	Sys *machine.System
+	// Fired counts the cuts that actually happened (a schedule can outlive
+	// its program).
+	Fired int
+	// Discarded totals the WPQ entries of unpersisted regions dropped
+	// across all drains.
+	Discarded int
+}
+
+// Replay executes one failure schedule against a compiled runtime: run to
+// each cut cycle, cut power (§IV-F drain), optionally corrupt the crash
+// image (test-only broken-recovery hook), recover, and continue; after the
+// last cut the machine runs to completion. Replays are deterministic: the
+// same runtime and schedule always produce the same final machine.
+func Replay(rt *core.Runtime, sched Schedule, maxCycles uint64, corrupt func(*mem.Image)) (*ReplayResult, error) {
+	sys, err := rt.NewSystem()
+	if err != nil {
+		return nil, err
+	}
+	res := &ReplayResult{}
+	for _, cut := range sched {
+		if sys.RunUntil(cut) {
+			break // completed before the cut could fire
+		}
+		rep := sys.PowerFail()
+		if corrupt != nil {
+			corrupt(sys.PM())
+		}
+		sys, err = rt.Recover(sys.PM(), rep.RegionCounter)
+		if err != nil {
+			return nil, fmt.Errorf("crashfuzz: recover after cut at cycle %d: %w", cut, err)
+		}
+		res.Fired++
+		res.Discarded += rep.Discarded
+	}
+	if !sys.Run(maxCycles) {
+		return nil, fmt.Errorf("crashfuzz: replay %v exceeded %d cycles", sched, maxCycles)
+	}
+	res.Sys = sys
+	return res, nil
+}
+
+// verdict checks one completed replay against the oracle. Every run must
+// finish with PM ≡ final architectural state on program data; single-
+// threaded runs must additionally match the failure-free oracle word for
+// word (multi-threaded runs can legally reorder commutative critical
+// sections across a recovery, so their final data need not match any one
+// failure-free interleaving).
+func verdict(final *machine.System, orc *oracle, threads int) error {
+	if err := recovery.VerifyPMMatchesArch(final.PM(), final.Arch()); err != nil {
+		return err
+	}
+	if threads == 1 {
+		if err := recovery.VerifyEquivalence(final.PM(), orc.pm); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package crashfuzz
+
+// Shrink reduces a failing schedule to a minimal reproducer: first by
+// dropping cuts (a one-cut repro beats a three-cut one), then by driving
+// each surviving cut's cycle toward zero (candidates 0, half, minus one).
+// fails must be a deterministic predicate — true when the schedule still
+// diverges from the oracle — and budget caps how many times it is invoked,
+// since each probe is a full replay.
+//
+// Shrink runs its passes to a fixpoint, so with a sufficient budget it is
+// idempotent: re-shrinking a minimal schedule probes the exact same
+// candidates, none fail, and the schedule comes back unchanged. That makes
+// repro files stable artifacts — re-running the harness on a repro never
+// rewrites it.
+//
+// It returns the shrunk schedule and the number of probes spent. The input
+// schedule must fail; the output is guaranteed to fail (every adopted
+// candidate was observed failing).
+func Shrink(s Schedule, fails func(Schedule) bool, budget int) (Schedule, int) {
+	used := 0
+	probe := func(cand Schedule) bool {
+		if used >= budget {
+			return false
+		}
+		used++
+		return fails(cand)
+	}
+	cur := s.clone()
+	for changed := true; changed; {
+		changed = false
+		// Pass 1 — drop cuts, later ones first, so the earliest injection
+		// (the one the divergence hinges on) is the last to go.
+		for i := len(cur) - 1; i >= 0 && len(cur) > 1; i-- {
+			cand := make(Schedule, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if probe(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		// Pass 2 — minimize each cut's cycle. Zero first (most divergences
+		// that fail at cycle c also fail at the boot image), then halving
+		// for a logarithmic descent, then minus one to polish.
+		for i := range cur {
+			v := cur[i]
+			for _, cand := range []uint64{0, v / 2, v - 1} {
+				if cand >= v {
+					continue
+				}
+				next := cur.clone()
+				next[i] = cand
+				if probe(next) {
+					cur = next
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return cur, used
+}

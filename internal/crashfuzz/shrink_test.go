@@ -1,0 +1,162 @@
+package crashfuzz
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShrinkTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     Schedule
+		fails  func(Schedule) bool
+		budget int
+		want   Schedule
+	}{
+		{
+			// Any schedule with a cut at or below 10 fails: the two late
+			// cuts drop, the early one minimizes to zero.
+			name: "early-cut-dominates",
+			in:   Schedule{100, 7, 50},
+			fails: func(s Schedule) bool {
+				for _, c := range s {
+					if c <= 10 {
+						return true
+					}
+				}
+				return false
+			},
+			budget: 100,
+			want:   Schedule{0},
+		},
+		{
+			// The bug needs two successive failures: shrinking may not drop
+			// below two cuts, but both cycles descend to zero.
+			name:   "needs-two-cuts",
+			in:     Schedule{5, 9, 3},
+			fails:  func(s Schedule) bool { return len(s) >= 2 },
+			budget: 100,
+			want:   Schedule{0, 0},
+		},
+		{
+			// Unconditional failure shrinks to the single boot-image cut.
+			name:   "always-fails",
+			in:     Schedule{400, 200, 300},
+			fails:  func(Schedule) bool { return true },
+			budget: 100,
+			want:   Schedule{0},
+		},
+		{
+			// Only the exact original schedule fails: nothing shrinks.
+			name: "irreducible",
+			in:   Schedule{4, 8},
+			fails: func(s Schedule) bool {
+				return reflect.DeepEqual(s, Schedule{4, 8})
+			},
+			budget: 100,
+			want:   Schedule{4, 8},
+		},
+		{
+			// A zero budget probes nothing and returns the input.
+			name:   "zero-budget",
+			in:     Schedule{42, 17},
+			fails:  func(Schedule) bool { return true },
+			budget: 0,
+			want:   Schedule{42, 17},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, probes := Shrink(tc.in, tc.fails, tc.budget)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Shrink(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			if probes > tc.budget {
+				t.Fatalf("spent %d probes over budget %d", probes, tc.budget)
+			}
+			// A minimal schedule is a fixed point: re-shrinking probes the
+			// same candidates, none fail, and the schedule is unchanged —
+			// repro files are stable artifacts.
+			again, _ := Shrink(got, tc.fails, tc.budget)
+			if !reflect.DeepEqual(again, got) {
+				t.Fatalf("Shrink not idempotent: %v -> %v", got, again)
+			}
+		})
+	}
+}
+
+func TestShrinkOutputStillFails(t *testing.T) {
+	// Every adopted candidate was observed failing, so the output must
+	// satisfy the predicate whenever the input did.
+	fails := func(s Schedule) bool {
+		sum := uint64(0)
+		for _, c := range s {
+			sum += c
+		}
+		return sum >= 6
+	}
+	in := Schedule{10, 20, 30}
+	got, _ := Shrink(in, fails, 1000)
+	if !fails(got) {
+		t.Fatalf("shrunk schedule %v no longer fails", got)
+	}
+}
+
+func TestPlanDeterministicAndSeeded(t *testing.T) {
+	cfg := Config{Seed: 7, ExhaustiveThreshold: 100, MaxInjections: 20, Cuts: 2}
+	interesting := []uint64{0, 500, 9999}
+
+	a, modeA := plan(cfg, 10_000, interesting)
+	b, modeB := plan(cfg, 10_000, interesting)
+	if modeA != "sampled" || modeB != "sampled" {
+		t.Fatalf("modes = %s/%s, want sampled", modeA, modeB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed planned different campaigns")
+	}
+
+	// Probe-guided cycles and their neighbours are always included.
+	first := map[uint64]bool{}
+	for _, s := range a {
+		first[s[0]] = true
+	}
+	for _, want := range []uint64{0, 1, 499, 500, 501, 9998, 9999} {
+		if !first[want] {
+			t.Fatalf("interesting cycle %d missing from the plan", want)
+		}
+	}
+	// Every fourth schedule cuts again at cycle 0 of the recovered machine.
+	zeroSecond := 0
+	for i, s := range a {
+		if len(s) != 2 {
+			t.Fatalf("schedule %v has %d cuts, want 2", s, len(s))
+		}
+		if i%4 == 0 && s[1] != 0 {
+			t.Fatalf("schedule %d = %v: second cut should hit recovery at cycle 0", i, s)
+		}
+		if s[1] == 0 {
+			zeroSecond++
+		}
+	}
+	if zeroSecond == 0 {
+		t.Fatal("no schedule cuts during recovery")
+	}
+
+	// A different seed draws different random cycles.
+	cfg.Seed = 8
+	c, _ := plan(cfg, 10_000, interesting)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds planned identical campaigns")
+	}
+
+	// Below the threshold the plan is exhaustive, regardless of the seed.
+	ex, mode := plan(Config{Seed: 3, ExhaustiveThreshold: 100}, 50, nil)
+	if mode != "exhaustive" || len(ex) != 50 {
+		t.Fatalf("exhaustive plan: mode %s, %d schedules", mode, len(ex))
+	}
+	for i, s := range ex {
+		if len(s) != 1 || s[0] != uint64(i) {
+			t.Fatalf("exhaustive schedule %d = %v", i, s)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// BlobCache is a content-addressed, best-effort JSON blob store: entries are
+// files named <hash>.json under one directory, written atomically (temp file
+// + rename) so a crashed or concurrent writer can never leave a half-written
+// entry that a later read would trust. It is the storage layer beneath the
+// simulation result cache (diskCache) and the crash-fuzzing verdict cache
+// (internal/crashfuzz); each client brings its own envelope type and is
+// responsible for validating the decoded entry (schema version, embedded
+// key) and calling Remove on anything stale.
+//
+// Every operation is best-effort: I/O and decode failures degrade to a cache
+// miss, never to an error or a wrong result.
+type BlobCache struct {
+	dir string
+}
+
+// NewBlobCache returns a store rooted at dir. The directory is created
+// lazily on the first write.
+func NewBlobCache(dir string) *BlobCache { return &BlobCache{dir: dir} }
+
+// Dir returns the store's root directory.
+func (c *BlobCache) Dir() string { return c.dir }
+
+func (c *BlobCache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}
+
+// ReadJSON decodes the entry named hash into out, reporting whether a valid
+// JSON document was present. The caller still has to validate the decoded
+// contents (and Remove the entry if stale).
+func (c *BlobCache) ReadJSON(hash string, out any) bool {
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// Remove deletes the entry named hash (stale-entry eviction).
+func (c *BlobCache) Remove(hash string) { os.Remove(c.path(hash)) }
+
+// WriteJSON atomically persists v as the entry named hash: marshal, write to
+// a temp file in the same directory, rename. Failures leave no partial file
+// behind.
+func (c *BlobCache) WriteJSON(hash string, v any) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "\t")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, hash+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(hash)); err != nil {
+		os.Remove(name)
+	}
+}

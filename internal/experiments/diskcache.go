@@ -9,15 +9,15 @@ import (
 	"lightwsp/internal/machine"
 )
 
-// diskCache persists completed machine.Stats blobs as JSON files so
-// repeated bench/CLI invocations skip finished simulations. Files are named
-// by the SHA-256 content hash of the canonical run key; each entry embeds
-// the schema version and the full key, so a version bump, a truncated file
-// or a (theoretical) hash collision all read back as a miss — never as a
-// wrong result. The cache is best-effort: any I/O or decode failure simply
-// degrades to a fresh simulation.
+// diskCache persists completed machine.Stats blobs so repeated bench/CLI
+// invocations skip finished simulations. Storage is a BlobCache: files named
+// by the SHA-256 content hash of the canonical run key, written atomically.
+// Each entry embeds the schema version and the full key, so a version bump,
+// a truncated file or a (theoretical) hash collision all read back as a miss
+// — never as a wrong result. The cache is best-effort: any I/O or decode
+// failure simply degrades to a fresh simulation.
 type diskCache struct {
-	dir string
+	blobs *BlobCache
 }
 
 // diskEntry is the on-disk JSON schema of one cached run.
@@ -31,60 +31,30 @@ type diskEntry struct {
 }
 
 func newDiskCache(dir string) *diskCache {
-	return &diskCache{dir: dir}
-}
-
-func (d *diskCache) path(hash string) string {
-	return filepath.Join(d.dir, hash+".json")
+	return &diskCache{blobs: NewBlobCache(dir)}
 }
 
 // load returns the cached stats and manifest for the given canonical key,
 // if present and valid. Entries whose schema version or embedded key
 // disagree are stale — the key format changed under them — and are removed.
 func (d *diskCache) load(key, hash string) (*machine.Stats, RunManifest, bool) {
-	data, err := os.ReadFile(d.path(hash))
-	if err != nil {
-		return nil, RunManifest{}, false
-	}
 	var e diskEntry
-	if err := json.Unmarshal(data, &e); err != nil || e.SchemaVersion != keySchemaVersion || e.Key != key {
-		os.Remove(d.path(hash))
+	if !d.blobs.ReadJSON(hash, &e) || e.SchemaVersion != keySchemaVersion || e.Key != key {
+		d.blobs.Remove(hash)
 		return nil, RunManifest{}, false
 	}
 	st := e.Stats
 	return &st, e.Manifest, true
 }
 
-// store persists one completed run, atomically (write to a temp file in the
-// same directory, then rename), so a crashed or concurrent writer can never
-// leave a half-written entry that a later load would trust.
+// store persists one completed run.
 func (d *diskCache) store(key, hash string, st *machine.Stats, man RunManifest) {
-	if err := os.MkdirAll(d.dir, 0o755); err != nil {
-		return
-	}
-	data, err := json.MarshalIndent(diskEntry{
+	d.blobs.WriteJSON(hash, diskEntry{
 		SchemaVersion: keySchemaVersion,
 		Key:           key,
 		Stats:         *st,
 		Manifest:      man,
-	}, "", "\t")
-	if err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(d.dir, hash+".tmp*")
-	if err != nil {
-		return
-	}
-	name := tmp.Name()
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
-		return
-	}
-	if err := os.Rename(name, d.path(hash)); err != nil {
-		os.Remove(name)
-	}
+	})
 }
 
 // Scrub removes every entry in dir whose schema version is not current —
@@ -116,4 +86,4 @@ func Scrub(dir string) (int, error) {
 }
 
 // String renders the cache location for progress output.
-func (d *diskCache) String() string { return fmt.Sprintf("diskcache(%s)", d.dir) }
+func (d *diskCache) String() string { return fmt.Sprintf("diskcache(%s)", d.blobs.Dir()) }

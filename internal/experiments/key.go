@@ -62,3 +62,12 @@ func keyHash(key string) string {
 	h := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(h[:])
 }
+
+// CanonicalRunKey returns the canonical content key and its SHA-256 hex hash
+// for one fully resolved simulation. Exported for harnesses (the crash-
+// consistency fuzzer) that key their own artifacts off the same identity the
+// result cache uses; extend their key strings, never reformat this one.
+func CanonicalRunKey(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (key, hash string) {
+	k := runKey(p, sch, cfg, ccfg)
+	return k, keyHash(k)
+}

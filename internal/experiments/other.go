@@ -256,12 +256,12 @@ func RecoverySweep(pointsPerApp int) (*RecoverySweepResult, error) {
 				if err := recovery.VerifyEquivalence(cres.Recovered.PM(), clean.PM()); err != nil {
 					return nil, fmt.Errorf("%s at cycle %d: %w", rep.name, fail, err)
 				}
-			} else if !cres.Recovered.PM().EqualRange(cres.Recovered.Arch(), 0, recovery.UserRangeEnd) {
+			} else if err := recovery.VerifyPMMatchesArch(cres.Recovered.PM(), cres.Recovered.Arch()); err != nil {
 				// Multi-threaded runs can legally reorder commutative
 				// critical sections across recovery; whole-system
 				// persistence still requires PM ≡ final architectural
 				// state.
-				return nil, fmt.Errorf("%s at cycle %d: PM diverges from architectural state", rep.name, fail)
+				return nil, fmt.Errorf("%s at cycle %d: %w", rep.name, fail, err)
 			}
 			res.Verified++
 		}

@@ -1,0 +1,34 @@
+package experiments
+
+// Pool is a bounded worker pool: a counting semaphore that caps how many
+// submitted functions execute at once. It is the concurrency backbone shared
+// by the Runner (simulation fan-out) and the crash-consistency fuzzing
+// campaigns (internal/crashfuzz), so one -j flag governs every kind of
+// parallel work the same way.
+//
+// A Pool carries no queue of its own: callers bring their goroutines (and
+// their WaitGroup) and Do blocks until a slot frees up. The zero value is
+// not usable; construct with NewPool.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most n functions concurrently
+// (minimum 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{sem: make(chan struct{}, n)}
+}
+
+// Size returns the pool's concurrency cap.
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Do runs fn once a slot is free, releasing the slot when fn returns
+// (even on panic).
+func (p *Pool) Do(fn func()) {
+	p.sem <- struct{}{}
+	defer func() { <-p.sem }()
+	fn()
+}

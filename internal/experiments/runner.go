@@ -85,7 +85,7 @@ type Runner struct {
 	mu          sync.Mutex
 	cache       map[string]*machine.Stats
 	inflight    map[string]*inflightRun
-	sem         chan struct{}
+	workerPool  *Pool
 	workers     int
 	disk        *diskCache
 	counters    Counters
@@ -129,7 +129,7 @@ func (r *Runner) SetWorkers(n int) {
 		n = 1
 	}
 	r.workers = n
-	r.sem = nil
+	r.workerPool = nil
 }
 
 // SetCacheDir enables the persistent disk cache under dir, overriding
@@ -192,12 +192,13 @@ func (r *Runner) noteManifest(key string, m RunManifest) {
 	r.mu.Unlock()
 }
 
-// pool returns the worker-pool semaphore; the caller must hold r.mu.
-func (r *Runner) pool() chan struct{} {
-	if r.sem == nil {
-		r.sem = make(chan struct{}, r.workers)
+// pool returns the worker pool, building it on first use; the caller must
+// hold r.mu.
+func (r *Runner) pool() *Pool {
+	if r.workerPool == nil {
+		r.workerPool = NewPool(r.workers)
 	}
-	return r.sem
+	return r.workerPool
 }
 
 // Mutator tweaks a configuration before a run (sweep parameter).
@@ -304,12 +305,15 @@ func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Confi
 	}
 	fl := &inflightRun{done: make(chan struct{})}
 	r.inflight[key] = fl
-	sem := r.pool()
+	pool := r.pool()
 	r.mu.Unlock()
 
-	sem <- struct{}{}
-	st, fromDisk, err := r.execute(key, p, sch, cfg, ccfg)
-	<-sem
+	var st *machine.Stats
+	var fromDisk bool
+	var err error
+	pool.Do(func() {
+		st, fromDisk, err = r.execute(key, p, sch, cfg, ccfg)
+	})
 
 	r.mu.Lock()
 	delete(r.inflight, key)

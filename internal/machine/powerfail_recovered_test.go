@@ -1,0 +1,89 @@
+package machine
+
+import (
+	"testing"
+
+	"lightwsp/internal/isa"
+	"lightwsp/internal/mem"
+)
+
+// recoveredAt builds a recovered system over a boot-style crash image: thread
+// state restored at the program entry, region counter seeded above the
+// failed run's.
+func recoveredAt(t *testing.T, prog *isa.Program, seed uint64) *System {
+	t.Helper()
+	pm := mem.NewImage()
+	states := []ThreadState{{PC: isa.PC{Func: prog.Entry}, SP: mem.StackTop(0)}}
+	sys, err := NewRecoveredSystem(prog, smallCfg(), lightScheme(), pm, states, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPowerFailOnRecoveredSystemAtCycleZero(t *testing.T) {
+	// A power failure the instant recovery hands off — before the recovered
+	// machine executes a single cycle — must behave exactly like a failure
+	// at cycle 0 of a fresh machine: nothing to flush, nothing to discard,
+	// and the crash image passes through untouched.
+	prog := compiled(t, storeProg(10, 0x1000))
+	sys := recoveredAt(t, prog, 500)
+	before := sys.PM().Clone()
+	rep := sys.PowerFail()
+	if rep.Cycle != 0 {
+		t.Fatalf("failure cycle = %d on an unticked recovered machine", rep.Cycle)
+	}
+	if rep.Discarded != 0 {
+		t.Fatalf("discarded %d entries before any execution", rep.Discarded)
+	}
+	if rep.RegionCounter < 500 {
+		t.Fatalf("region counter %d regressed below the recovery seed", rep.RegionCounter)
+	}
+	if !sys.PM().Equal(before) {
+		t.Fatal("crash image changed by a zero-cycle failure")
+	}
+}
+
+func TestPowerFailOnRecoveredSystemMidRun(t *testing.T) {
+	// Recovery itself is just execution: a second failure mid-way through a
+	// recovered run must obey the same prefix discipline as the first.
+	prog := compiled(t, storeProg(40, 0x1000))
+	sys := recoveredAt(t, prog, 500)
+	sys.RunUntil(150)
+	rep := sys.PowerFail()
+	if rep.RegionCounter < 500 {
+		t.Fatalf("region counter %d regressed below the recovery seed", rep.RegionCounter)
+	}
+	seenGap := false
+	for i := 0; i < 40; i++ {
+		v := sys.PM().Read(0x1000 + uint64(8*i))
+		if v == 0 {
+			seenGap = true
+		} else if seenGap {
+			t.Fatalf("store %d persisted after a gap (non-prefix) on a recovered machine", i)
+		}
+	}
+}
+
+func TestSecondPowerFailIsIdempotent(t *testing.T) {
+	// The machine is dead after PowerFail; a second cut must change nothing
+	// — no extra discards, no new persisted words, stable report.
+	prog := compiled(t, storeProg(30, 0x1000))
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.RunUntil(100)
+	first := sys.PowerFail()
+	img := sys.PM().Clone()
+	second := sys.PowerFail()
+	if second.Discarded != 0 {
+		t.Fatalf("second failure discarded %d entries from a drained machine", second.Discarded)
+	}
+	if second.Cycle != first.Cycle || second.RegionCounter != first.RegionCounter {
+		t.Fatalf("second report %+v disagrees with first %+v", second, first)
+	}
+	if !sys.PM().Equal(img) {
+		t.Fatal("PM changed on the second power failure")
+	}
+}

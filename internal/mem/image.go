@@ -157,6 +157,41 @@ func (im *Image) Diff(other *Image, max int) []string {
 	return out
 }
 
+// Hash returns a deterministic FNV-1a fingerprint of the image's contents:
+// every non-zero word folded in ascending address order. Two images hash
+// equal iff they hold identical contents (modulo collisions), so harnesses
+// can compare or log an image's identity — the crash fuzzer's oracle hash —
+// without retaining the image itself.
+func (im *Image) Hash() uint64 {
+	idx := make([]uint64, 0, len(im.pages))
+	for pi := range im.pages {
+		idx = append(idx, pi)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	word := func(w uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= w & 0xff
+			h *= prime64
+			w >>= 8
+		}
+	}
+	for _, pi := range idx {
+		pg := im.pages[pi]
+		for off := uint64(0); off < pageWords; off++ {
+			if v := pg.words[off]; v != 0 {
+				word((pi<<pageShift | off) << 3) // address
+				word(v)
+			}
+		}
+	}
+	return h
+}
+
 // EqualRange reports whether the images agree on every word in [lo, hi).
 func (im *Image) EqualRange(other *Image, lo, hi uint64) bool {
 	if lo >= hi {

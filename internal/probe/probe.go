@@ -133,6 +133,14 @@ func Multi(sinks ...Sink) Sink {
 	return out
 }
 
+// SinkFunc adapts a plain function to Sink, for consumers — like the crash
+// fuzzer's interesting-cycle collector — that need no state beyond their
+// closure.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
 // Counter tallies events per kind — the cheapest possible consumer, used by
 // tests and the overhead benchmark.
 type Counter struct {

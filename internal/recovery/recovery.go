@@ -98,3 +98,18 @@ func VerifyEquivalence(got, want *mem.Image) error {
 	diffs := got.Diff(want, 8)
 	return fmt.Errorf("recovery: persisted data diverges from failure-free run: %v", diffs)
 }
+
+// VerifyPMMatchesArch checks that a completed run's persisted image agrees
+// with its final architectural state on all program data. This is the
+// invariant every whole-system-persistence run must satisfy at completion —
+// and the one multi-threaded crash comparisons fall back to, because
+// commutative critical sections can legally interleave differently across a
+// recovery, so the final data need not match any one failure-free run
+// word-for-word.
+func VerifyPMMatchesArch(pm, arch *mem.Image) error {
+	if pm.EqualRange(arch, 0, UserRangeEnd) {
+		return nil
+	}
+	diffs := pm.Diff(arch, 8)
+	return fmt.Errorf("recovery: persisted data diverges from final architectural state: %v", diffs)
+}

@@ -1,0 +1,57 @@
+package workload
+
+// Crash-consistency fuzzing workloads: miniature calibrated programs whose
+// complete runs span a few thousand cycles, so a campaign can afford to make
+// *every* cycle an injection point (exhaustive mode) instead of sampling.
+// They exercise the same generator features as the evaluation profiles —
+// stores, loads, ALU chains, branch diamonds, helper calls, and (for the
+// multi-threaded one) lock-protected critical sections — just at a scale
+// where total cycles × injections stays cheap.
+//
+// Like every profile, they are deterministic: the generator PRNG is seeded
+// from the profile name, so a repro file naming one of these rebuilds a
+// bit-identical program.
+
+// FuzzSmokeProfiles returns the standard crash-fuzzing smoke set: one
+// single-threaded workload (checked word-for-word against the failure-free
+// oracle) and one multi-threaded, critical-section-heavy workload (checked
+// for PM ≡ final architectural state, since commutative critical sections
+// may legally reorder across a recovery).
+func FuzzSmokeProfiles() []Profile {
+	return []Profile{
+		{
+			Name: "fuzz-st", Suite: CPU2006,
+			StoreWeight: 4, LoadWeight: 4, ALUWeight: 5, StoreFrac: 0.08,
+			WorkingSet: 64 * kb, HotFraction: 0.6, Branchiness: 0.3,
+			CallEvery: 5, Threads: 1, Segments: 6, Iterations: 4,
+		},
+		{
+			Name: "fuzz-mt", Suite: STAMP,
+			StoreWeight: 4, LoadWeight: 4, ALUWeight: 4, StoreFrac: 0.09,
+			WorkingSet: 128 * kb, HotFraction: 0.5, Branchiness: 0.3,
+			CallEvery: 5, Threads: 2, CritEvery: 3, Segments: 6, Iterations: 3,
+		},
+	}
+}
+
+// FuzzNightlyProfiles returns the deeper randomized-campaign set: the smoke
+// workloads plus representative evaluation profiles from the suites whose
+// persistence behaviour differs most (a cache-resident SPEC integer code, a
+// memory-intensive streaming code, and a write-intensive transactional
+// workload).
+func FuzzNightlyProfiles() []Profile {
+	out := FuzzSmokeProfiles()
+	for _, pick := range []struct {
+		suite Suite
+		name  string
+	}{
+		{CPU2006, "hmmer"},
+		{CPU2006, "lbm"},
+		{WHISPER, "tatp"},
+	} {
+		if p, ok := ByName(pick.suite, pick.name); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
