@@ -22,6 +22,7 @@ import (
 
 	"lightwsp/internal/crashfuzz"
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/faults"
 	"lightwsp/internal/metrics"
 	"lightwsp/internal/workload"
 )
@@ -62,8 +63,19 @@ func main() {
 			"write a machine-readable run summary (e.g. BENCH_runner.json)")
 		timelineDir = flag.String("timeline-dir", "",
 			"write one Chrome trace-event timeline per fresh simulation into this directory")
+		faultsFlag = flag.String("faults", "",
+			"persist-fabric fault plan for the crashfuzz experiment, e.g. "+
+				"\"drop=10,dup=5,delay=20:48,reorder=5,stuck=1@100+500\" (empty/none: perfect fabric)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's hashed decisions")
 	)
 	flag.Parse()
+
+	plan, err := faults.ParsePlan(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan.Seed = *faultSeed
 
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
@@ -100,7 +112,7 @@ func main() {
 		{"regions", func() (fmt.Stringer, error) { return experiments.RegionStats(r) }},
 		{"hwcost", func() (fmt.Stringer, error) { return experiments.HWCost(8, 2), nil }},
 		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoverySweep(10) }},
-		{"crashfuzz", func() (fmt.Stringer, error) { return crashfuzzSmoke(*workers) }},
+		{"crashfuzz", func() (fmt.Stringer, error) { return crashfuzzSmoke(*workers, plan) }},
 		{"ablation-lrpo", func() (fmt.Stringer, error) { return experiments.AblationLRPO(r) }},
 		{"ablation-compiler", func() (fmt.Stringer, error) { return experiments.AblationCompiler(r) }},
 	}
@@ -182,10 +194,11 @@ func (rs crashfuzzResults) String() string {
 
 // crashfuzzSmoke runs the exhaustive crash-consistency smoke campaigns: every
 // cycle of each miniature fuzz profile is a power-cut point, with a two-cut
-// pass over the single-threaded profile to cover failure during recovery. Any
-// divergence is an error — the harness's job in the bench grid is to prove
-// there are none.
-func crashfuzzSmoke(workers int) (fmt.Stringer, error) {
+// pass over the single-threaded profile to cover failure during recovery. An
+// enabled fault plan (-faults) additionally subjects every replay segment to
+// persist-fabric faults; the oracle stays fault-free. Any divergence is an
+// error — the harness's job in the bench grid is to prove there are none.
+func crashfuzzSmoke(workers int, plan faults.Plan) (fmt.Stringer, error) {
 	pool := experiments.NewPool(workers)
 	var out crashfuzzResults
 	for _, p := range workload.FuzzSmokeProfiles() {
@@ -194,6 +207,7 @@ func crashfuzzSmoke(workers int) (fmt.Stringer, error) {
 				Profile: p,
 				Cuts:    cuts,
 				Seed:    1,
+				Faults:  plan,
 				Pool:    pool,
 			})
 			if err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"lightwsp/internal/crashfuzz"
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/faults"
 	"lightwsp/internal/workload"
 )
 
@@ -39,9 +40,13 @@ func main() {
 			"sampled-mode random injection-cycle budget (plus probe-guided cycles)")
 		cuts = flag.Int("cuts", 1,
 			"successive power failures per schedule (>1 includes cuts during recovery)")
-		seed    = flag.Int64("seed", 1, "campaign seed (same seed = same schedule plan)")
-		workers = flag.Int("j", runtime.GOMAXPROCS(0), "replay worker-pool size")
-		outDir  = flag.String("out", "",
+		seed       = flag.Int64("seed", 1, "campaign seed (same seed = same schedule plan)")
+		faultsFlag = flag.String("faults", "",
+			"persist-fabric fault plan for every replay segment, e.g. "+
+				"\"drop=10,dup=5,delay=20:48,reorder=5,stuck=1@100+500\" (empty/none: perfect fabric)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's hashed decisions")
+		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "replay worker-pool size")
+		outDir    = flag.String("out", "",
 			"directory for repro files and the campaign manifest (empty: none written)")
 		cacheDir = flag.String("cache", os.Getenv(experiments.CacheDirEnv),
 			"verdict-cache directory (empty disables; defaults to $"+experiments.CacheDirEnv+")")
@@ -60,6 +65,13 @@ func main() {
 	if *replay != "" {
 		os.Exit(runReplay(*replay))
 	}
+
+	plan, err := faults.ParsePlan(*faultsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	plan.Seed = *faultSeed
 
 	var profiles []workload.Profile
 	switch {
@@ -96,6 +108,7 @@ func main() {
 			MaxInjections:       *points,
 			Cuts:                *cuts,
 			Seed:                *seed,
+			Faults:              plan,
 			Pool:                pool,
 			Cache:               cache,
 			OutDir:              *outDir,

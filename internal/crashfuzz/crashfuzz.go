@@ -40,6 +40,7 @@ import (
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/faults"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/mem"
 	"lightwsp/internal/stats"
@@ -87,6 +88,11 @@ type Config struct {
 	// Seed drives sampled-mode cycle selection and multi-cut offsets; the
 	// same seed always plans the same campaign.
 	Seed int64
+	// Faults, when enabled, injects persist-fabric faults (drop/dup/delay/
+	// reorder, stuck controllers) into every replay segment — the fault plan
+	// × power-cut product. The oracle run stays fault-free: reliable
+	// delivery must make faulted outcomes indistinguishable from it.
+	Faults faults.Plan
 	// MaxCycles bounds each replay (zero = experiments.MaxRunCycles).
 	MaxCycles uint64
 
@@ -122,6 +128,9 @@ type Result struct {
 	Mode string `json:"mode"`
 	Cuts int    `json:"cuts"`
 	Seed int64  `json:"seed"`
+	// Faults is the campaign's fault plan in -faults flag syntax ("none"
+	// when the campaign ran on a perfect fabric).
+	Faults string `json:"faults,omitempty"`
 	// OracleCycles and OracleHash identify the failure-free reference run.
 	OracleCycles uint64 `json:"oracle_cycles"`
 	OracleHash   string `json:"oracle_hash"`
@@ -152,6 +161,9 @@ func (r *Result) String() string {
 		Columns: []string{"metric", "value"},
 	}
 	t.Add("mode", fmt.Sprintf("%s, %d cut(s), seed %d", r.Mode, r.Cuts, r.Seed))
+	if r.Faults != "" && r.Faults != "none" {
+		t.Add("faults", r.Faults)
+	}
 	t.Add("oracle", fmt.Sprintf("%d cycles, hash %s", r.OracleCycles, r.OracleHash))
 	t.Add("cycles covered", r.CyclesCovered)
 	t.Add("probe-guided cycles", r.InterestingCycles)
@@ -264,6 +276,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:              cfg.Seed,
 		OracleCycles:      orc.cycles,
 		OracleHash:        orc.hash,
+		Faults:            cfg.Faults.String(),
 		CyclesCovered:     len(scheds),
 		InterestingCycles: len(interesting),
 		Workers:           pool.Size(),
@@ -321,7 +334,7 @@ func (c *campaign) resolve(sched Schedule) outcome {
 			c.cfg.Cache.Remove(vhash)
 		}
 	}
-	rep, err := Replay(c.rt, sched, c.maxCycles, c.cfg.CorruptPM)
+	rep, err := Replay(c.rt, sched, c.maxCycles, c.cfg.CorruptPM, c.cfg.Faults)
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -336,21 +349,30 @@ func (c *campaign) resolve(sched Schedule) outcome {
 	return outcome{fired: rep.Fired}
 }
 
-// diverge shrinks a failing schedule and packages the minimal reproducer.
+// diverge shrinks a failing schedule — first the cut cycles, then the fault
+// plan's knobs — and packages the minimal reproducer.
 func (c *campaign) diverge(sched Schedule, rep *ReplayResult, verr error) outcome {
 	fired := rep.Fired
-	fails := func(s Schedule) bool {
-		r, err := Replay(c.rt, s, c.maxCycles, c.cfg.CorruptPM)
+	probes := 0
+	failsWith := func(s Schedule, plan faults.Plan) bool {
+		r, err := Replay(c.rt, s, c.maxCycles, c.cfg.CorruptPM, plan)
 		if err != nil {
 			return false // a broken replay is not a reproduction
 		}
 		fired += r.Fired
 		return verdict(r.Sys, c.orc, c.mcfg.Threads) != nil
 	}
-	minimal, probes := Shrink(sched, fails, DefaultShrinkBudget)
-	// Re-derive the minimal schedule's diff for the repro file.
+	minimal, n := Shrink(sched, func(s Schedule) bool {
+		return failsWith(s, c.cfg.Faults)
+	}, DefaultShrinkBudget)
+	probes += n
+	plan, n := ShrinkPlan(c.cfg.Faults, func(p faults.Plan) bool {
+		return failsWith(minimal, p)
+	}, DefaultShrinkBudget)
+	probes += n
+	// Re-derive the minimal reproducer's diff for the repro file.
 	diff := verr
-	if mrep, err := Replay(c.rt, minimal, c.maxCycles, c.cfg.CorruptPM); err == nil {
+	if mrep, err := Replay(c.rt, minimal, c.maxCycles, c.cfg.CorruptPM, plan); err == nil {
 		if merr := verdict(mrep.Sys, c.orc, c.mcfg.Threads); merr != nil {
 			diff = merr
 		}
@@ -368,6 +390,7 @@ func (c *campaign) diverge(sched Schedule, rep *ReplayResult, verr error) outcom
 			Machine:       c.mcfg,
 			Compiler:      c.rt.Compiled.Config,
 			Cuts:          minimal,
+			Faults:        plan,
 			OracleCycles:  c.orc.cycles,
 			OracleHash:    c.orc.hash,
 			Diff:          []string{diff.Error()},
@@ -376,10 +399,12 @@ func (c *campaign) diverge(sched Schedule, rep *ReplayResult, verr error) outcom
 	}
 }
 
-// verdictKey extends the canonical run key with the fuzzing schema version
-// and the schedule, yielding the cache identity of one verdict.
+// verdictKey extends the canonical run key with the fuzzing schema version,
+// the schedule and the fault plan, yielding the cache identity of one
+// verdict.
 func (c *campaign) verdictKey(sched Schedule) (key, hash string) {
-	key = fmt.Sprintf("%s|crashfuzz:v%d|cuts=%v", c.key, ReproSchemaVersion, []uint64(sched))
+	key = fmt.Sprintf("%s|crashfuzz:v%d|cuts=%v|faults=%s",
+		c.key, ReproSchemaVersion, []uint64(sched), c.cfg.Faults.Key())
 	sum := sha256.Sum256([]byte(key))
 	return key, hex.EncodeToString(sum[:])
 }

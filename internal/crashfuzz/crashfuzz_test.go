@@ -150,7 +150,7 @@ func TestBrokenRecoveryCaughtAndShrunk(t *testing.T) {
 		t.Fatalf("repro oracle (%d cycles, %s) does not match this tree (%d cycles, %s)",
 			r.OracleCycles, r.OracleHash, orc.cycles, orc.hash)
 	}
-	rep, err := Replay(rt, r.Cuts, maxReplayCycles, corrupt)
+	rep, err := Replay(rt, r.Cuts, maxReplayCycles, corrupt, r.Faults)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestBrokenRecoveryCaughtAndShrunk(t *testing.T) {
 	}
 	// Without the corruption the same schedule passes: the harness blamed
 	// the broken recovery, not the machine.
-	rep, err = Replay(rt, r.Cuts, maxReplayCycles, nil)
+	rep, err = Replay(rt, r.Cuts, maxReplayCycles, nil, r.Faults)
 	if err != nil {
 		t.Fatal(err)
 	}

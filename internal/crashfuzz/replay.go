@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lightwsp/internal/core"
+	"lightwsp/internal/faults"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/mem"
 	"lightwsp/internal/recovery"
@@ -43,13 +44,18 @@ type ReplayResult struct {
 // Replay executes one failure schedule against a compiled runtime: run to
 // each cut cycle, cut power (§IV-F drain), optionally corrupt the crash
 // image (test-only broken-recovery hook), recover, and continue; after the
-// last cut the machine runs to completion. Replays are deterministic: the
-// same runtime and schedule always produce the same final machine.
-func Replay(rt *core.Runtime, sched Schedule, maxCycles uint64, corrupt func(*mem.Image)) (*ReplayResult, error) {
+// last cut the machine runs to completion. An enabled fault plan attaches a
+// fresh injector to every segment — the initial machine and each recovered
+// one — so each segment's fault pattern depends only on the plan and the
+// segment's own cycle counter, never on earlier cuts; the oracle stays
+// fault-free. Replays are deterministic: the same runtime, schedule and plan
+// always produce the same final machine.
+func Replay(rt *core.Runtime, sched Schedule, maxCycles uint64, corrupt func(*mem.Image), plan faults.Plan) (*ReplayResult, error) {
 	sys, err := rt.NewSystem()
 	if err != nil {
 		return nil, err
 	}
+	sys.SetFaultInjector(faults.New(plan))
 	res := &ReplayResult{}
 	for _, cut := range sched {
 		if sys.RunUntil(cut) {
@@ -63,6 +69,7 @@ func Replay(rt *core.Runtime, sched Schedule, maxCycles uint64, corrupt func(*me
 		if err != nil {
 			return nil, fmt.Errorf("crashfuzz: recover after cut at cycle %d: %w", cut, err)
 		}
+		sys.SetFaultInjector(faults.New(plan))
 		res.Fired++
 		res.Discarded += rep.Discarded
 	}

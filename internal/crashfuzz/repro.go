@@ -7,6 +7,7 @@ import (
 
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
+	"lightwsp/internal/faults"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/workload"
 )
@@ -14,7 +15,9 @@ import (
 // ReproSchemaVersion stamps every repro file and every cached verdict. Bump
 // it whenever the replay semantics or the file format change; older repro
 // files are then rejected instead of silently replaying something else.
-const ReproSchemaVersion = 1
+//
+// v2: repros carry a persist-fabric fault plan, replayed alongside the cuts.
+const ReproSchemaVersion = 2
 
 // Repro is a minimal, self-contained reproducer of one crash-consistency
 // divergence: everything needed to rebuild the exact workload (profiles are
@@ -33,6 +36,9 @@ type Repro struct {
 	Compiler compiler.Config `json:"compiler"`
 	// Cuts is the shrunk failure schedule (see Schedule).
 	Cuts Schedule `json:"cuts"`
+	// Faults is the (shrunk) persist-fabric fault plan each replay segment
+	// runs under; the zero value replays on a perfect fabric.
+	Faults faults.Plan `json:"faults,omitempty"`
 	// Seed is the campaign seed that found the divergence (provenance; the
 	// replay itself needs no randomness).
 	Seed int64 `json:"seed"`
@@ -97,7 +103,7 @@ func ReplayRepro(r *Repro) error {
 		return fmt.Errorf("crashfuzz: oracle mismatch: repro recorded %d cycles/%s, this tree produces %d cycles/%s — the simulator changed under the repro",
 			r.OracleCycles, r.OracleHash, orc.cycles, orc.hash)
 	}
-	res, err := Replay(rt, r.Cuts, maxReplayCycles, nil)
+	res, err := Replay(rt, r.Cuts, maxReplayCycles, nil, r.Faults)
 	if err != nil {
 		return err
 	}

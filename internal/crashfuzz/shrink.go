@@ -1,5 +1,7 @@
 package crashfuzz
 
+import "lightwsp/internal/faults"
+
 // Shrink reduces a failing schedule to a minimal reproducer: first by
 // dropping cuts (a one-cut repro beats a three-cut one), then by driving
 // each surviving cut's cycle toward zero (candidates 0, half, minus one).
@@ -55,6 +57,59 @@ func Shrink(s Schedule, fails func(Schedule) bool, budget int) (Schedule, int) {
 					changed = true
 					break
 				}
+			}
+		}
+	}
+	return cur, used
+}
+
+// ShrinkPlan reduces a failing fault plan to a minimal one, holding the
+// (already shrunk) schedule fixed: it tries disabling the whole plan, then
+// zeroing each fault dimension independently, then halving the surviving
+// rates — a divergence that reproduces with only duplication enabled is a
+// much sharper repro than one needing the full gauntlet. Like Shrink, fails
+// must be deterministic, budget caps the probes, and the returned plan is
+// guaranteed to still fail (every adopted candidate was observed failing).
+func ShrinkPlan(p faults.Plan, fails func(faults.Plan) bool, budget int) (faults.Plan, int) {
+	if !p.Enabled() {
+		return p, 0
+	}
+	used := 0
+	probe := func(cand faults.Plan) bool {
+		if used >= budget {
+			return false
+		}
+		used++
+		return fails(cand)
+	}
+	// The cheapest win: the divergence needs no faults at all (it was a
+	// plain crash-consistency bug the fault campaign happened to surface).
+	if off := (faults.Plan{}); probe(off) {
+		return off, used
+	}
+	cur := p
+	for changed := true; changed; {
+		changed = false
+		for _, cand := range []faults.Plan{
+			func(c faults.Plan) faults.Plan { c.DropPct = 0; return c }(cur),
+			func(c faults.Plan) faults.Plan { c.DupPct = 0; return c }(cur),
+			func(c faults.Plan) faults.Plan { c.DelayPct = 0; c.MaxDelay = 0; return c }(cur),
+			func(c faults.Plan) faults.Plan { c.ReorderPct = 0; return c }(cur),
+			func(c faults.Plan) faults.Plan { c.StuckFor = 0; c.StuckFrom = 0; c.StuckMC = 0; return c }(cur),
+			func(c faults.Plan) faults.Plan {
+				c.DropPct /= 2
+				c.DupPct /= 2
+				c.DelayPct /= 2
+				c.ReorderPct /= 2
+				return c
+			}(cur),
+		} {
+			if cand == cur || !cand.Enabled() {
+				continue // the all-off plan was already probed up front
+			}
+			if probe(cand) {
+				cur = cand
+				changed = true
 			}
 		}
 	}

@@ -18,7 +18,9 @@ import (
 // version participates in both the canonical key and its content hash.
 //
 // v2: disk entries carry a RunManifest (provenance + metrics snapshot).
-const keySchemaVersion = 2
+// v3: machine.Config grew the persist-fabric robustness knobs (RetryTimeout,
+// RetryBudget, DegradeDeadline, BrokenDupAcks).
+const keySchemaVersion = 3
 
 // runKey canonicalizes the full identity of one simulation: the workload
 // profile, the persistence scheme, the resolved machine configuration
@@ -51,6 +53,8 @@ func runKey(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg com
 		cfg.PersistLatNear, cfg.PersistLatFar, cfg.ChannelCap,
 		cfg.NoCLat, cfg.NUMAExtra, cfg.OOOWindow,
 		int(cfg.VictimPolicy), cfg.Threads)
+	fmt.Fprintf(&b, ",rt=%d,rb=%d,dd=%d,bda=%t",
+		cfg.RetryTimeout, cfg.RetryBudget, cfg.DegradeDeadline, cfg.BrokenDupAcks)
 	fmt.Fprintf(&b, "|ccfg:st=%d,unroll=%d,noprune=%t,nocomb=%t",
 		ccfg.StoreThreshold, ccfg.MaxUnroll, ccfg.DisablePruning, ccfg.DisableCombining)
 	return b.String()

@@ -70,6 +70,24 @@ type Config struct {
 	// NoCLat is the boundary/ACK message latency between MCs.
 	NoCLat uint64
 
+	// RetryTimeout is the cycles a controller waits for missing bdry-ACKs
+	// before retransmitting a boundary replay (reliable delivery under an
+	// attached fault injector; successive rounds back off exponentially).
+	// 0 means the default.
+	RetryTimeout uint64
+	// RetryBudget is the retransmission rounds before the silent peer is
+	// declared degraded; replaying continues at maximum backoff after.
+	// 0 means the default.
+	RetryBudget int
+	// DegradeDeadline is the cycles a controller may stay stuck
+	// (fault-injected) before the machine declares it degraded and it
+	// falls back to undo-logged eager persistence. 0 means the default.
+	DegradeDeadline uint64
+	// BrokenDupAcks (test-only) disables idempotent duplicate-ACK
+	// handling in every WPQ, re-creating the pre-reliable-delivery
+	// counting bug so the crash-fuzzing campaign can prove it catches it.
+	BrokenDupAcks bool
+
 	// NUMAExtra is the extra load latency for accessing the far
 	// controller.
 	NUMAExtra uint64
@@ -87,6 +105,31 @@ type Config struct {
 	// Threads is the number of software threads; each runs on its own
 	// core, so Threads ≤ Cores.
 	Threads int
+}
+
+// retryTimeout resolves the reliable-delivery timeout (default 80 cycles:
+// several NoC round trips, so a fault-free exchange never trips it).
+func (c Config) retryTimeout() uint64 {
+	if c.RetryTimeout == 0 {
+		return 80
+	}
+	return c.RetryTimeout
+}
+
+// retryBudget resolves the retransmission budget before degradation.
+func (c Config) retryBudget() int {
+	if c.RetryBudget == 0 {
+		return 6
+	}
+	return c.RetryBudget
+}
+
+// degradeDeadline resolves the stuck-controller degradation deadline.
+func (c Config) degradeDeadline() uint64 {
+	if c.DegradeDeadline == 0 {
+		return 1200
+	}
+	return c.DegradeDeadline
 }
 
 // DefaultConfig returns the Table I system.
@@ -116,6 +159,10 @@ func DefaultConfig() Config {
 		NoCLat:    10,
 		NUMAExtra: 10,
 		OOOWindow: 40,
+
+		RetryTimeout:    80,
+		RetryBudget:     6,
+		DegradeDeadline: 1200,
 
 		VictimPolicy: mem.FullVictim,
 		Threads:      1,

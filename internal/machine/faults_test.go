@@ -1,0 +1,178 @@
+package machine
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lightwsp/internal/faults"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/metrics"
+	"lightwsp/internal/probe"
+)
+
+// TestNilInjectorByteIdentical is the regression for the fault machinery's
+// zero-cost contract: a system that saw SetFaultInjector(nil) must produce a
+// byte-identical PM image, the same cycle count and the same statistics as a
+// system that never heard of fault injection.
+func TestNilInjectorByteIdentical(t *testing.T) {
+	prog := compiled(t, storeProg(40, 0x1000))
+	plain, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Run(2_000_000) {
+		t.Fatal("plain run did not complete")
+	}
+	nilInj, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nilInj.SetFaultInjector(nil)
+	nilInj.SetFaultInjector(faults.New(faults.Plan{})) // disabled plan is also nil
+	if !nilInj.Run(2_000_000) {
+		t.Fatal("nil-injector run did not complete")
+	}
+	if plain.Stats.Cycles != nilInj.Stats.Cycles {
+		t.Fatalf("cycle counts diverge: %d vs %d", plain.Stats.Cycles, nilInj.Stats.Cycles)
+	}
+	if !plain.PM().Equal(nilInj.PM()) {
+		t.Fatal("final PM images diverge with a nil injector")
+	}
+	if !reflect.DeepEqual(plain.Stats, nilInj.Stats) {
+		t.Fatalf("stats diverge:\n plain: %+v\n nil:   %+v", plain.Stats, nilInj.Stats)
+	}
+}
+
+// TestFaultedRunConverges runs the full drop/dup/delay/reorder gauntlet and
+// verifies reliable delivery: the run still completes, the final PM image is
+// exactly the fault-free one, and the retry machinery visibly did the work.
+func TestFaultedRunConverges(t *testing.T) {
+	prog := compiled(t, storeProg(60, 0x1000))
+	clean, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Run(2_000_000) {
+		t.Fatal("clean run did not complete")
+	}
+
+	cfg := smallCfg()
+	cfg.RetryTimeout = 40 // trip retries well inside the test's horizon
+	sys, err := NewSystem(prog, cfg, lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetFaultInjector(faults.New(faults.Plan{
+		Seed: 3, DropPct: 25, DupPct: 10, DelayPct: 20, MaxDelay: 16, ReorderPct: 10,
+	}))
+	if !sys.Run(4_000_000) {
+		t.Fatal("faulted run did not complete: reliable delivery lost a region")
+	}
+	if !sys.PM().Equal(clean.PM()) {
+		t.Fatal("faulted run's final PM diverges from the fault-free image")
+	}
+	if sys.Stats.FaultDrops == 0 || sys.Stats.FaultDups == 0 || sys.Stats.FaultDelays == 0 {
+		t.Fatalf("injector saw no action: drops=%d dups=%d delays=%d",
+			sys.Stats.FaultDrops, sys.Stats.FaultDups, sys.Stats.FaultDelays)
+	}
+	if sys.Stats.WPQRetries == 0 {
+		t.Fatal("no boundary replays under 25%% ACK loss — retries cannot be working")
+	}
+	if sys.Stats.WPQDupSuppressed == 0 {
+		t.Fatal("no duplicate ACKs suppressed under 10%% duplication")
+	}
+}
+
+// TestFaultedRunDeterministic replays the same seed twice and requires
+// bit-identical outcomes — the property every crashfuzz repro rests on.
+func TestFaultedRunDeterministic(t *testing.T) {
+	prog := compiled(t, storeProg(30, 0x1000))
+	run := func() (*System, error) {
+		sys, err := NewSystem(prog, smallCfg(), lightScheme())
+		if err != nil {
+			return nil, err
+		}
+		sys.SetFaultInjector(faults.New(faults.Plan{
+			Seed: 99, DropPct: 15, DupPct: 15, DelayPct: 25, MaxDelay: 12,
+		}))
+		sys.Run(4_000_000)
+		return sys, nil
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Fatalf("same seed, different stats:\n a: %+v\n b: %+v", a.Stats, b.Stats)
+	}
+	if !a.PM().Equal(b.PM()) {
+		t.Fatal("same seed, different PM images")
+	}
+}
+
+// TestStuckMCDegradesAndCompletes wedges controller 1 for longer than the
+// degradation deadline and verifies graceful degradation end to end: the
+// machine declares it degraded, falls back to undo-logged eager persistence,
+// still completes with the correct PM image, and the degradation is visible
+// in stats, metrics and the exported timeline.
+func TestStuckMCDegradesAndCompletes(t *testing.T) {
+	prog := compiled(t, storeProg(60, 0x1000))
+	clean, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Run(2_000_000) {
+		t.Fatal("clean run did not complete")
+	}
+
+	cfg := smallCfg()
+	cfg.DegradeDeadline = 150
+	cfg.RetryTimeout = 40
+	sys, err := NewSystem(prog, cfg, lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := metrics.New()
+	tl := probe.NewTimeline(0)
+	sys.SetProbeSink(probe.Multi(m, tl))
+	sys.SetFaultInjector(faults.New(faults.Plan{
+		Seed: 5, StuckMC: 1, StuckFrom: 100, StuckFor: 1500,
+	}))
+	if !sys.Run(4_000_000) {
+		t.Fatal("stuck-MC run did not complete: degradation failed to unwedge it")
+	}
+	if !sys.Degraded(1) {
+		t.Fatal("controller 1 not marked degraded after exceeding the deadline")
+	}
+	if sys.Stats.MCDegradations == 0 {
+		t.Fatal("Stats.MCDegradations = 0")
+	}
+	// The data must match the fault-free image exactly; the whole-image
+	// comparison is out because committed undo records leave stale scratch
+	// words behind the (zeroed) log header.
+	for i := 0; i < 60; i++ {
+		addr := 0x1000 + uint64(8*i)
+		if got, want := sys.PM().Read(addr), clean.PM().Read(addr); got != want {
+			t.Fatalf("degraded run diverges at %#x: %d != %d", addr, got, want)
+		}
+	}
+	if got := sys.PM().Read(mem.UndoLogAddr(1, 0)); got != 0 {
+		t.Fatalf("undo log header = %d after a completed run, want 0", got)
+	}
+	if m.Degradations == 0 {
+		t.Fatalf("metrics missed the degradation: %+v", m.Snapshot())
+	}
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mc-degraded") {
+		t.Fatal("timeline export missing the mc-degraded instant")
+	}
+}

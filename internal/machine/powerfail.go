@@ -41,13 +41,37 @@ func (s *System) PowerFail() FailureReport {
 	// Boundary broadcasts still on the core side are lost; MC↔MC ACKs
 	// survive on battery and are guaranteed to arrive (§IV-F step 1).
 	s.net.DropCoreTraffic()
-	for _, m := range s.net.DrainAll() {
-		s.mcs[m.To].q.OnMessage(m)
+	if s.inj == nil {
+		for _, m := range s.net.DrainAll() {
+			s.mcs[m.To].q.OnMessage(s.cycle, m)
+		}
+	} else {
+		// Fault-injected runs: replies (replay re-ACKs) must not enter the
+		// dead NoC, so every battery delivery routes through a synchronous
+		// recursive exchange. Messages parked at a stuck controller are
+		// MC↔MC and battery-backed too — they arrive now. Then one
+		// Reannounce round per controller re-solicits the ACKs the faulty
+		// fabric dropped, restoring the fault-free drain invariant that
+		// every controller's view of which boundaries are global agrees.
+		var sync func(m noc.Message)
+		sync = func(m noc.Message) { s.mcs[m.To].q.OnMessageSync(s.cycle, m, sync) }
+		for _, m := range s.net.DrainAll() {
+			sync(m)
+		}
+		for _, m := range s.parked {
+			if m.Kind != noc.MsgBoundary {
+				sync(m)
+			}
+		}
+		s.parked = nil
+		for _, ctrl := range s.mcs {
+			ctrl.q.Reannounce(sync)
+		}
 	}
 
 	// (2)–(5) Flush persisted regions, exchanging ACKs synchronously on
 	// battery, until no controller makes progress.
-	exchange := func(m noc.Message) { s.mcs[m.To].q.OnMessage(m) }
+	exchange := func(m noc.Message) { s.mcs[m.To].q.OnMessage(s.cycle, m) }
 	for {
 		progress := false
 		for _, m := range s.mcs {

@@ -5,6 +5,7 @@ import (
 
 	"lightwsp/internal/isa"
 	"lightwsp/internal/mem"
+	"lightwsp/internal/wpq"
 )
 
 // recoveredAt builds a recovered system over a boot-style crash image: thread
@@ -85,5 +86,81 @@ func TestSecondPowerFailIsIdempotent(t *testing.T) {
 	}
 	if !sys.PM().Equal(img) {
 		t.Fatal("PM changed on the second power failure")
+	}
+}
+
+// TestRecoveryWhileDegradedReplaysUndoLog crashes a machine whose controller
+// 1 is degraded (undo-logged eager persistence active) at a point where the
+// undo log still covers never-confirmed regions, and verifies the recovery
+// sequence: wpq.RecoverUndo must roll the eager writes back BEFORE the
+// recovered machine runs, restoring all-or-nothing region persistence (the
+// prefix property); the recovered run then completes correctly.
+func TestRecoveryWhileDegradedReplaysUndoLog(t *testing.T) {
+	const stores = 40
+	prog := compiled(t, storeProg(stores, 0x1000))
+	crashed := func(cut uint64) *System {
+		sys, err := NewSystem(prog, smallCfg(), lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Degrade controller 1 from the start: every entry whose region is
+		// not yet globally confirmed flushes eagerly with its pre-image
+		// undo-logged, exactly the state a stuck window leaves behind.
+		sys.degradeMC(1, 0)
+		sys.RunUntil(cut)
+		return sys
+	}
+	// Find a cut where controller 1's undo log survives the drain: some
+	// eagerly-persisted region never got its boundary confirmed everywhere.
+	var sys *System
+	var rep FailureReport
+	for cut := uint64(20); cut < 2000; cut += 7 {
+		s := crashed(cut)
+		r := s.PowerFail()
+		if s.PM().Read(mem.UndoLogAddr(1, 0)) > 0 {
+			sys, rep = s, r
+			break
+		}
+	}
+	if sys == nil {
+		t.Fatal("no cut left a live undo log; degraded eager persistence never outran confirmation")
+	}
+	pm := sys.PM()
+
+	// Recovery step 1: roll back the never-confirmed eager writes.
+	rolled := 0
+	for mc := 0; mc < smallCfg().NumMCs; mc++ {
+		rolled += wpq.RecoverUndo(mc, pm.Read, func(a, v uint64) { pm.Write(a, v) })
+	}
+	if rolled == 0 {
+		t.Fatal("live undo log rolled back zero records")
+	}
+	if pm.Read(mem.UndoLogAddr(1, 0)) != 0 {
+		t.Fatal("undo log not invalidated by rollback")
+	}
+	// All-or-nothing is restored: the persisted stores are again a prefix.
+	seenGap := false
+	for i := 0; i < stores; i++ {
+		v := pm.Read(0x1000 + uint64(8*i))
+		if v == 0 {
+			seenGap = true
+		} else if seenGap {
+			t.Fatalf("store %d persisted after a gap even after undo replay", i)
+		}
+	}
+
+	// Recovery step 2: the recovered machine reruns and completes.
+	states := []ThreadState{{PC: isa.PC{Func: prog.Entry}, SP: mem.StackTop(0)}}
+	rec, err := NewRecoveredSystem(prog, smallCfg(), lightScheme(), pm, states, rep.RegionCounter+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Run(2_000_000) {
+		t.Fatal("recovered run did not complete")
+	}
+	for i := 0; i < stores; i++ {
+		if got := rec.PM().Read(0x1000 + uint64(8*i)); got != uint64(100+i) {
+			t.Fatalf("recovered store %d = %d, want %d", i, got, 100+i)
+		}
 	}
 }

@@ -37,6 +37,15 @@ type Stats struct {
 	WPQFullRejects  uint64
 	WPQMaxOccupancy int
 
+	// Persist-fabric robustness (all zero without a fault injector).
+	WPQRetries       uint64 // boundary replays retransmitted
+	WPQDupSuppressed uint64 // duplicate ACKs absorbed idempotently
+	MCDegradations   uint64 // controllers declared degraded
+	FaultDrops       uint64 // messages the injector dropped
+	FaultDups        uint64 // messages the injector duplicated
+	FaultDelays      uint64 // messages the injector delayed
+	FaultReorders    uint64 // messages the injector reordered
+
 	// Cache behaviour.
 	L1Hits, L1Misses     uint64
 	L2Hits, L2Misses     uint64

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"lightwsp/internal/faults"
 	"lightwsp/internal/isa"
 	"lightwsp/internal/mem"
 	"lightwsp/internal/noc"
@@ -37,6 +38,18 @@ type System struct {
 
 	cycle         uint64
 	regionCounter uint64
+
+	// inj, when set, is the persist-fabric fault injector (SetFaultInjector);
+	// nil keeps every fault consultation to a single branch.
+	inj *faults.Injector
+	// parked holds NoC messages addressed to a stuck controller, delivered
+	// in arrival order once its window ends (they are MC↔MC and
+	// battery-backed, so they are delayed, never lost).
+	parked []noc.Message
+	// stuckSince[mc] is the cycle the controller was first observed stuck
+	// (0 = not stuck); degradedMC[mc] marks controllers declared degraded.
+	stuckSince []uint64
+	degradedMC []bool
 
 	// ptrace, when set, records every WPQ→PM write (SetPersistTrace).
 	ptrace *trace.PersistTrace
@@ -152,15 +165,20 @@ func newBare(prog *isa.Program, cfg Config, scheme Scheme, firstRegion uint64) (
 		ctrl.q = wpq.New(wpq.Config{
 			ID: m, NumMCs: cfg.NumMCs, Entries: cfg.WPQEntries, Mode: mode,
 			PMWriteInterval: cfg.PMWriteInterval, PMWriteExtra: scheme.PMWriteExtra,
-			FirstRegion: firstRegion,
+			FirstRegion:  firstRegion,
+			RetryTimeout: cfg.retryTimeout(), RetryBudget: cfg.retryBudget(),
+			BrokenDupAcks: cfg.BrokenDupAcks,
 		}, wpq.Sinks{
-			PMWrite: s.pmWrite,
-			PMRead:  func(a uint64) uint64 { return s.pm.Read(a) },
-			Send:    func(msg noc.Message) { s.net.Send(s.cycle, msg) },
-			OnFlush: func(e wpq.Entry) { s.onFlush(m, e) },
+			PMWrite:       s.pmWrite,
+			PMRead:        func(a uint64) uint64 { return s.pm.Read(a) },
+			Send:          func(msg noc.Message) { s.net.Send(s.cycle, msg) },
+			OnFlush:       func(e wpq.Entry) { s.onFlush(m, e) },
+			OnPeerTimeout: s.onPeerTimeout,
 		})
 		s.mcs = append(s.mcs, ctrl)
 	}
+	s.stuckSince = make([]uint64, cfg.NumMCs)
+	s.degradedMC = make([]bool, cfg.NumMCs)
 	for i := 0; i < cfg.Cores; i++ {
 		c := &Core{id: i, sys: s, l1: mem.NewCache(cfg.L1Size, cfg.L1Ways)}
 		if scheme.UsePersistPath {
@@ -258,6 +276,79 @@ func (s *System) onFlush(mcID int, e wpq.Entry) {
 // write is recorded. Pass nil to detach.
 func (s *System) SetPersistTrace(t *trace.PersistTrace) { s.ptrace = t }
 
+// SetFaultInjector attaches a persist-fabric fault injector: the NoC starts
+// consulting it on every message and the WPQs arm their reliable-delivery
+// retransmission machinery. Attach before Run. A nil injector (the default)
+// leaves the fault-free fast paths untouched — the simulation is then
+// decision-for-decision identical to a machine that never saw this call.
+func (s *System) SetFaultInjector(inj *faults.Injector) {
+	s.inj = inj
+	s.net.SetInjector(inj)
+	if inj == nil {
+		return
+	}
+	for _, m := range s.mcs {
+		m.q.EnableRetry()
+	}
+}
+
+// FaultInjector returns the attached injector (nil when fault-free).
+func (s *System) FaultInjector() *faults.Injector { return s.inj }
+
+// Degraded reports whether controller mc was declared degraded.
+func (s *System) Degraded(mc int) bool { return s.degradedMC[mc] }
+
+// onPeerTimeout handles a WPQ's report that a peer stayed silent through
+// the whole retry budget: the peer is declared degraded.
+func (s *System) onPeerTimeout(peer int) { s.degradeMC(peer, 1) }
+
+// degradeMC declares a controller degraded (idempotently): its WPQ falls
+// back to undo-logged eager persistence so it can work off its backlog
+// without global boundary confirmation, preserving all-or-nothing region
+// persistence instead of wedging the persist path. Arg 0 = stuck past the
+// deadline, 1 = silent through a peer's retry budget.
+func (s *System) degradeMC(id int, cause uint64) {
+	if s.degradedMC[id] {
+		return
+	}
+	s.degradedMC[id] = true
+	s.mcs[id].q.SetDegraded()
+	s.Stats.MCDegradations++
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Kind: probe.MCDegraded, Cycle: s.cycle,
+			Core: -1, MC: id, Region: s.mcs[id].q.FlushID(), Arg: cause})
+	}
+}
+
+// tickFaults services the stuck-controller model: releases messages parked
+// at controllers whose window ended, and degrades controllers stuck past
+// the deadline. Called only with an injector attached.
+func (s *System) tickFaults(now uint64) {
+	if len(s.parked) > 0 {
+		keep := s.parked[:0]
+		for _, m := range s.parked {
+			if s.inj.MCStuck(now, m.To) {
+				keep = append(keep, m)
+			} else {
+				s.deliverMsg(now, m)
+			}
+		}
+		s.parked = keep
+	}
+	for id := range s.mcs {
+		if s.inj.MCStuck(now, id) {
+			if s.stuckSince[id] == 0 {
+				s.stuckSince[id] = now
+			}
+			if !s.degradedMC[id] && now-s.stuckSince[id] >= s.cfg.degradeDeadline() {
+				s.degradeMC(id, 0)
+			}
+		} else {
+			s.stuckSince[id] = 0
+		}
+	}
+}
+
 // SetProbeSink attaches a cycle-level instrumentation sink to the machine
 // and all its components; pass nil to detach. Attach before Run: regions
 // already open when the sink attaches are implied open at the current
@@ -312,7 +403,7 @@ func (s *System) Done() bool {
 			return false
 		}
 	}
-	return s.net.Pending() == 0
+	return s.net.Pending() == 0 && len(s.parked) == 0
 }
 
 // Tick advances the machine one cycle.
@@ -329,30 +420,55 @@ func (s *System) Tick() {
 		c.path.Tick(now)
 		c.path.DeliverReady(now, s.sink)
 	}
+	if s.inj != nil {
+		s.tickFaults(now)
+	}
 	for _, m := range s.net.Deliver(now) {
-		q := s.mcs[m.To].q
-		if s.probe == nil {
-			q.OnMessage(m)
+		if s.inj != nil && s.inj.MCStuck(now, m.To) {
+			// A stuck controller ingests nothing; MC↔MC messages are
+			// battery-backed, so they wait instead of being lost.
+			s.parked = append(s.parked, m)
 			continue
 		}
-		if m.Kind == noc.MsgBdryAck {
-			s.probe.Emit(probe.Event{Kind: probe.BoundaryAck, Cycle: now,
-				Core: -1, MC: m.To, Region: m.Region})
-		}
-		wasOverflow := q.InOverflow()
-		q.OnMessage(m)
-		if wasOverflow && !q.InOverflow() {
-			s.probe.Emit(probe.Event{Kind: probe.WPQOverflowExit, Cycle: now,
-				Core: -1, MC: m.To, Region: m.Region})
-		}
+		s.deliverMsg(now, m)
 	}
 	for _, m := range s.mcs {
+		if s.inj != nil && s.inj.MCStuck(now, m.id) {
+			continue // a stuck controller makes no progress
+		}
 		m.q.Tick(now)
+	}
+}
+
+// deliverMsg hands one NoC message to its controller, bracketed with the
+// instrumentation events the probe layer expects.
+func (s *System) deliverMsg(now uint64, m noc.Message) {
+	q := s.mcs[m.To].q
+	if s.probe == nil {
+		q.OnMessage(now, m)
+		return
+	}
+	if m.Kind == noc.MsgBdryAck {
+		s.probe.Emit(probe.Event{Kind: probe.BoundaryAck, Cycle: now,
+			Core: -1, MC: m.To, Region: m.Region})
+	}
+	wasOverflow := q.InOverflow()
+	q.OnMessage(now, m)
+	if wasOverflow && !q.InOverflow() {
+		s.probe.Emit(probe.Event{Kind: probe.WPQOverflowExit, Cycle: now,
+			Core: -1, MC: m.To, Region: m.Region})
 	}
 }
 
 // sink delivers a persist-path entry to its controller.
 func (s *System) sink(m int, e persistpath.Entry) bool {
+	if s.inj != nil && s.inj.MCStuck(s.cycle, m) {
+		// A stuck controller accepts nothing; the persist path holds the
+		// entry and retries, so nothing is lost — the boundary-knowledge
+		// invariant (knowledge only via a controller's own channel, behind
+		// all of its region's stores) survives the window.
+		return false
+	}
 	q := s.mcs[m].q
 	if s.probe == nil {
 		if e.Control {
@@ -450,9 +566,17 @@ func (s *System) finalizeStats() {
 		s.Stats.WPQDeadlocks += m.q.Deadlocks
 		s.Stats.WPQUndoWrites += m.q.UndoWrites
 		s.Stats.WPQFullRejects += m.q.FullRejects
+		s.Stats.WPQRetries += m.q.Retries
+		s.Stats.WPQDupSuppressed += m.q.DupSuppressed
 		if m.q.MaxOccupancy > s.Stats.WPQMaxOccupancy {
 			s.Stats.WPQMaxOccupancy = m.q.MaxOccupancy
 		}
+	}
+	if s.inj != nil {
+		s.Stats.FaultDrops = s.inj.Drops
+		s.Stats.FaultDups = s.inj.Dups
+		s.Stats.FaultDelays = s.inj.Delays
+		s.Stats.FaultReorders = s.inj.Reorders
 	}
 }
 

@@ -35,6 +35,9 @@ type Metrics struct {
 	SnoopHits     uint64
 	PowerFails    uint64
 	Recoveries    uint64
+	Retries       uint64 // boundary replays retransmitted (fault injection)
+	DupSuppressed uint64 // duplicate ACKs absorbed idempotently
+	Degradations  uint64 // controllers declared degraded
 
 	// Distributions.
 	RegionStores    stats.Histogram // dynamic stores per closed region
@@ -86,6 +89,12 @@ func (m *Metrics) Emit(e probe.Event) {
 		m.PowerFails++
 	case probe.RecoveryBoot:
 		m.Recoveries++
+	case probe.FabricRetry:
+		m.Retries++
+	case probe.FabricDupSuppressed:
+		m.DupSuppressed++
+	case probe.MCDegraded:
+		m.Degradations++
 	}
 }
 
@@ -135,6 +144,9 @@ type Snapshot struct {
 	SnoopHits     uint64 `json:"snoop_hits"`
 	PowerFails    uint64 `json:"power_fails"`
 	Recoveries    uint64 `json:"recoveries"`
+	Retries       uint64 `json:"fabric_retries,omitempty"`
+	DupSuppressed uint64 `json:"fabric_dup_suppressed,omitempty"`
+	Degradations  uint64 `json:"mc_degradations,omitempty"`
 
 	RegionStores    HistSnapshot `json:"region_stores"`
 	RegionResidency HistSnapshot `json:"region_residency_cycles"`
@@ -157,6 +169,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		SnoopHits:     m.SnoopHits,
 		PowerFails:    m.PowerFails,
 		Recoveries:    m.Recoveries,
+		Retries:       m.Retries,
+		DupSuppressed: m.DupSuppressed,
+		Degradations:  m.Degradations,
 
 		RegionStores:    snapHist(&m.RegionStores),
 		RegionResidency: snapHist(&m.RegionResidency),
@@ -181,6 +196,9 @@ func (m *Metrics) Merge(s Snapshot) {
 	m.SnoopHits += s.SnoopHits
 	m.PowerFails += s.PowerFails
 	m.Recoveries += s.Recoveries
+	m.Retries += s.Retries
+	m.DupSuppressed += s.DupSuppressed
+	m.Degradations += s.Degradations
 
 	for _, h := range []struct {
 		dst *stats.Histogram
@@ -210,6 +228,10 @@ func (s Snapshot) String() string {
 	fmt.Fprintf(&sb, "events=%d regions=%d boundaries=%d acks=%d enqueues=%d flushes=%d overflows=%d undo=%d snoop-hits=%d\n",
 		s.Events, s.RegionsClosed, s.Boundaries, s.BoundaryAcks,
 		s.Enqueues, s.Flushes, s.Overflows, s.UndoWrites, s.SnoopHits)
+	if s.Retries+s.DupSuppressed+s.Degradations > 0 {
+		fmt.Fprintf(&sb, "fabric: retries=%d dup-suppressed=%d degradations=%d\n",
+			s.Retries, s.DupSuppressed, s.Degradations)
+	}
 	tab := &stats.Table{
 		Columns: []string{"histogram", "count", "p50", "p90", "p99", "max", "mean"},
 	}

@@ -106,3 +106,27 @@ func TestStringRendersQuantiles(t *testing.T) {
 		}
 	}
 }
+
+func TestFabricCountersAccumulateAndMerge(t *testing.T) {
+	m := New()
+	m.Emit(probe.Event{Kind: probe.FabricRetry, Cycle: 10, MC: 0, Region: 1, Arg: 1})
+	m.Emit(probe.Event{Kind: probe.FabricRetry, Cycle: 20, MC: 0, Region: 1, Arg: 2})
+	m.Emit(probe.Event{Kind: probe.FabricDupSuppressed, Cycle: 30, MC: 1, Region: 1, Arg: 0})
+	m.Emit(probe.Event{Kind: probe.MCDegraded, Cycle: 40, MC: 1, Arg: 0})
+	if m.Retries != 2 || m.DupSuppressed != 1 || m.Degradations != 1 {
+		t.Fatalf("fabric counters = %d/%d/%d", m.Retries, m.DupSuppressed, m.Degradations)
+	}
+	other := New()
+	other.Merge(m.Snapshot())
+	other.Merge(m.Snapshot())
+	if other.Retries != 4 || other.DupSuppressed != 2 || other.Degradations != 2 {
+		t.Fatalf("merged fabric counters = %d/%d/%d", other.Retries, other.DupSuppressed, other.Degradations)
+	}
+	if !strings.Contains(m.String(), "degradations=1") {
+		t.Fatalf("text rendering missing fabric line:\n%s", m.String())
+	}
+	empty := New()
+	if strings.Contains(empty.String(), "fabric:") {
+		t.Fatal("fabric line rendered with zero fabric activity")
+	}
+}

@@ -1,6 +1,10 @@
 package noc
 
-import "testing"
+import (
+	"testing"
+
+	"lightwsp/internal/faults"
+)
 
 func TestDeliveryLatencyAndOrder(t *testing.T) {
 	n := New(10)
@@ -75,10 +79,162 @@ func TestSentCounters(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for _, k := range []MsgKind{MsgBoundary, MsgBdryAck, MsgFlushAck} {
+	for _, k := range []MsgKind{MsgBoundary, MsgBdryAck, MsgFlushAck, MsgBdryReplay} {
 		if k.String() == "?" {
 			t.Errorf("kind %d unnamed", k)
 		}
+	}
+	if int(MsgBdryReplay) != NumKinds-1 {
+		t.Errorf("NumKinds = %d does not cover MsgBdryReplay = %d", NumKinds, MsgBdryReplay)
+	}
+}
+
+// DrainAll must return equal-arrival-cycle messages in send order — the
+// same tie-break Deliver uses. The power-failure drain depends on this: the
+// last boundary-ACK exchange is replayed exactly as it would have unfolded.
+func TestDrainAllSendOrderEqualArrival(t *testing.T) {
+	n := New(7)
+	// All sent at cycle 3, so all share arrival cycle 10. Region encodes
+	// send index.
+	for r := uint64(0); r < 16; r++ {
+		n.Send(3, Message{Kind: MsgBdryAck, Region: r, From: int(r % 3), To: 0})
+	}
+	got := n.DrainAll()
+	if len(got) != 16 {
+		t.Fatalf("DrainAll returned %d of 16", len(got))
+	}
+	for i, m := range got {
+		if m.Region != uint64(i) {
+			t.Fatalf("send order broken at %d: %v", i, got)
+		}
+	}
+	// Deliver agrees with DrainAll on the tie-break.
+	n2 := New(7)
+	for r := uint64(0); r < 16; r++ {
+		n2.Send(3, Message{Kind: MsgBdryAck, Region: r, To: 0})
+	}
+	for i, m := range n2.Deliver(10) {
+		if m.Region != uint64(i) {
+			t.Fatalf("Deliver tie-break disagrees with DrainAll at %d", i)
+		}
+	}
+}
+
+// Property (satellite of the fault work): delay faults move messages to
+// later cycles but never invert two messages that end up sharing a delivery
+// cycle — every Deliver batch stays in send order.
+func TestDelayFaultsNeverReorderEqualArrival(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		n := New(5)
+		n.SetInjector(faults.New(faults.Plan{Seed: seed, DelayPct: 60, MaxDelay: 16}))
+		const total = 200
+		for i := uint64(0); i < total; i++ {
+			// Region encodes send index; spread sends over cycles.
+			n.Send(i/4, Message{Kind: MsgBdryAck, Region: i, To: 0})
+		}
+		delivered := 0
+		for now := uint64(0); now < 400; now++ {
+			batch := n.Deliver(now)
+			for i := 1; i < len(batch); i++ {
+				if batch[i].Region < batch[i-1].Region {
+					t.Fatalf("seed %d cycle %d: delay faults inverted equal-arrival messages: %v",
+						seed, now, batch)
+				}
+			}
+			delivered += len(batch)
+		}
+		if delivered != total {
+			t.Fatalf("seed %d: delivered %d of %d", seed, delivered, total)
+		}
+	}
+}
+
+// With reorder faults enabled, equal-arrival inversions must actually occur
+// (otherwise the fault dimension is dead weight).
+func TestReorderFaultsInvertEqualArrival(t *testing.T) {
+	n := New(5)
+	n.SetInjector(faults.New(faults.Plan{Seed: 1, ReorderPct: 50}))
+	const total = 200
+	for i := uint64(0); i < total; i++ {
+		n.Send(i/8, Message{Kind: MsgBdryAck, Region: i, To: 0})
+	}
+	inversions := 0
+	for now := uint64(0); now < 400; now++ {
+		batch := n.Deliver(now)
+		for i := 1; i < len(batch); i++ {
+			if batch[i].Region < batch[i-1].Region {
+				inversions++
+			}
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("50% reorder faults produced no equal-arrival inversions")
+	}
+}
+
+func TestDropAndDupFaults(t *testing.T) {
+	n := New(3)
+	n.SetInjector(faults.New(faults.Plan{Seed: 5, DropPct: 30, DupPct: 30}))
+	const total = 300
+	for i := uint64(0); i < total; i++ {
+		n.Send(i, Message{Kind: MsgFlushAck, Region: i, To: 0})
+	}
+	counts := map[uint64]int{}
+	for _, m := range n.DrainAll() {
+		counts[m.Region]++
+	}
+	var lost, duped int
+	for i := uint64(0); i < total; i++ {
+		switch counts[i] {
+		case 0:
+			lost++
+		case 2:
+			duped++
+		case 1:
+		default:
+			t.Fatalf("region %d delivered %d times", i, counts[i])
+		}
+	}
+	if lost == 0 || duped == 0 {
+		t.Fatalf("faults inert: lost=%d duped=%d", lost, duped)
+	}
+	if n.Sent[MsgFlushAck] != total {
+		t.Fatalf("Sent counts fault artifacts: %d != %d", n.Sent[MsgFlushAck], total)
+	}
+}
+
+// Boundary replays are MC-originated and battery-backed: they must survive
+// the power-failure core-traffic purge that kills MsgBoundary.
+func TestBdryReplaySurvivesDropCoreTraffic(t *testing.T) {
+	n := New(10)
+	n.Send(0, Message{Kind: MsgBoundary, Region: 1, From: 0, To: 0})
+	n.Send(0, Message{Kind: MsgBdryReplay, Region: 1, From: 1, To: 0})
+	n.DropCoreTraffic()
+	got := n.DrainAll()
+	if len(got) != 1 || got[0].Kind != MsgBdryReplay {
+		t.Fatalf("want only the replay to survive, got %v", got)
+	}
+}
+
+// With no injector attached, Send must behave exactly as the perfect
+// fabric: every message delivered once, at now+latency, in send order.
+func TestNilInjectorIsPerfectFabric(t *testing.T) {
+	n := New(4)
+	n.SetInjector(nil)
+	for i := uint64(0); i < 50; i++ {
+		n.Send(i, Message{Kind: MsgBdryAck, Region: i, To: 0})
+	}
+	seen := 0
+	for now := uint64(0); now < 100; now++ {
+		for _, m := range n.Deliver(now) {
+			if now != m.Region+4 {
+				t.Fatalf("region %d delivered at %d, want %d", m.Region, now, m.Region+4)
+			}
+			seen++
+		}
+	}
+	if seen != 50 {
+		t.Fatalf("delivered %d of 50", seen)
 	}
 }
 

@@ -61,6 +61,16 @@ const (
 	// RecoveryBoot: a sink was attached to a machine booted from a crash
 	// image (Arg = the recovered region-counter seed).
 	RecoveryBoot
+	// FabricRetry: a controller retransmitted a boundary replay for a
+	// region missing bdry-ACKs (MC, Region; Arg = retry round).
+	FabricRetry
+	// FabricDupSuppressed: a controller absorbed a duplicate ACK
+	// idempotently (MC, Region; Arg = the duplicating peer).
+	FabricDupSuppressed
+	// MCDegraded: a controller was declared degraded — stuck past its
+	// deadline or silent through a peer's retry budget — and switched to
+	// undo-logged eager persistence (MC; Arg = 0 stuck, 1 peer timeout).
+	MCDegraded
 
 	numKinds = iota
 )
@@ -73,6 +83,7 @@ var kindNames = [NumKinds]string{
 	"wpq-enqueue", "wpq-flush", "wpq-overflow-enter", "wpq-overflow-exit",
 	"wpq-undo", "feb-stall-start", "feb-stall-stop", "snoop-hit",
 	"power-fail-cut", "power-fail-drained", "recovery-boot",
+	"fabric-retry", "fabric-dup-suppressed", "mc-degraded",
 }
 
 // String returns the kind's kebab-case name.

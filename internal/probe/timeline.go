@@ -177,6 +177,19 @@ func (t *Timeline) render() []traceEvent {
 			instant(e, "wpq-undo", pidMCs, e.MC, map[string]any{
 				"addr": fmt.Sprintf("%#x", e.Addr), "records": e.Arg,
 			})
+		case FabricRetry:
+			instant(e, fmt.Sprintf("fabric-retry r%d", e.Region), pidMCs, e.MC, map[string]any{
+				"region": e.Region, "round": e.Arg,
+			})
+		case FabricDupSuppressed:
+			instant(e, "fabric-dup-suppressed", pidMCs, e.MC, map[string]any{
+				"region": e.Region, "peer": e.Arg,
+			})
+		case MCDegraded:
+			instant(e, "mc-degraded", pidMCs, e.MC, map[string]any{
+				"cause": map[uint64]string{0: "stuck", 1: "peer-timeout"}[e.Arg],
+			})
+			out[len(out)-1].S = "g"
 		case FEBStallStart:
 			// The matching FEBStallStop carries the burst; starts render
 			// only when the run ends mid-stall (handled below via the

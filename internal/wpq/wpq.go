@@ -15,6 +15,7 @@ package wpq
 
 import (
 	"fmt"
+	"sort"
 
 	"lightwsp/internal/mem"
 	"lightwsp/internal/noc"
@@ -58,6 +59,23 @@ type Config struct {
 	PMWriteExtra uint64
 	// FirstRegion is the region ID the flush ID register starts at.
 	FirstRegion uint64
+
+	// RetryTimeout is the cycles the controller waits for missing
+	// bdry-ACKs on the current flush region before retransmitting a
+	// boundary replay; successive retransmissions back off exponentially.
+	// Only consulted once EnableRetry has armed the reliable-delivery
+	// machinery (a fault injector is attached).
+	RetryTimeout uint64
+	// RetryBudget caps the exponential backoff: after this many
+	// retransmission rounds the controller reports the unresponsive peers
+	// via Sinks.OnPeerTimeout (degradation) and keeps replaying at the
+	// maximum backoff so delivery still eventually succeeds.
+	RetryBudget int
+	// BrokenDupAcks (test-only) reverts ACK bookkeeping to counting
+	// instead of per-peer sets, so duplicated or re-solicited ACKs
+	// double-count and regions can flush before every peer confirmed the
+	// boundary — the seeded bug the crash-fuzzing campaign must catch.
+	BrokenDupAcks bool
 }
 
 // Sinks are the callbacks the queue drives.
@@ -71,6 +89,10 @@ type Sinks struct {
 	// OnFlush is invoked when an entry reaches PM (per-core outstanding
 	// accounting); it may be nil.
 	OnFlush func(e Entry)
+	// OnPeerTimeout reports a peer that stayed silent through the whole
+	// retry budget, so the machine can declare it degraded; it may be nil
+	// and may be invoked repeatedly for the same peer.
+	OnPeerTimeout func(peer int)
 }
 
 // Queue is one memory controller's WPQ plus LRPO protocol state.
@@ -88,15 +110,34 @@ type Queue struct {
 	// comparisons are exact here.
 	flushID uint64
 
-	bdryRcvd  map[uint64]bool
-	bdryAcks  map[uint64]int
-	flushAcks map[uint64]int
+	bdryRcvd map[uint64]bool
+	// bdryAcks and flushAcks track, per region, which peers acknowledged —
+	// a bitmask indexed by MC, so duplicated or re-solicited ACKs are
+	// idempotent. Under the test-only BrokenDupAcks config the same maps
+	// degenerate to plain counters (the pre-reliable-delivery bookkeeping).
+	bdryAcks  map[uint64]uint64
+	flushAcks map[uint64]uint64
 
 	busyUntil uint64
 
 	// Overflow escape state (§IV-D).
-	overflow  bool
-	undoCount int
+	overflow bool
+	// undoRecs mirrors the PM-resident undo log, tagged with the region
+	// each record belongs to so commits can retire a region's records
+	// while later regions' eager writes stay covered.
+	undoRecs []undoRec
+
+	// Reliable-delivery state (armed by EnableRetry): a retransmission
+	// timer for the flush region's missing bdry-ACKs.
+	retryEnabled bool
+	retryArmed   bool
+	retryRegion  uint64
+	retryCount   int
+	retryAt      uint64
+
+	// degraded switches the queue to undo-logged eager persistence: see
+	// SetDegraded.
+	degraded bool
 
 	// probe, when set, receives the queue's internally-timed events (undo
 	// logging); the enclosing machine emits the rest (enqueue, flush,
@@ -104,14 +145,22 @@ type Queue struct {
 	probe probe.Sink
 
 	// Statistics.
-	Flushed      uint64 // entries written to PM
-	Committed    uint64 // regions committed at this controller
-	CAMHits      uint64 // load-miss WPQ hits (§IV-H)
-	CAMSearches  uint64
-	Deadlocks    uint64 // overflow-escape activations
-	UndoWrites   uint64 // undo-logged PM writes
-	FullRejects  uint64 // entries declined because the queue was full
-	MaxOccupancy int
+	Flushed       uint64 // entries written to PM
+	Committed     uint64 // regions committed at this controller
+	CAMHits       uint64 // load-miss WPQ hits (§IV-H)
+	CAMSearches   uint64
+	Deadlocks     uint64 // overflow-escape activations
+	UndoWrites    uint64 // undo-logged PM writes
+	FullRejects   uint64 // entries declined because the queue was full
+	Retries       uint64 // boundary replays retransmitted
+	DupSuppressed uint64 // duplicate ACKs absorbed idempotently
+	MaxOccupancy  int
+}
+
+// undoRec is the in-memory mirror of one PM undo-log record.
+type undoRec struct {
+	addr, old uint64
+	region    uint64
 }
 
 // New builds a queue.
@@ -124,10 +173,29 @@ func New(cfg Config, sinks Sinks) *Queue {
 		sinks:     sinks,
 		flushID:   cfg.FirstRegion,
 		bdryRcvd:  map[uint64]bool{},
-		bdryAcks:  map[uint64]int{},
-		flushAcks: map[uint64]int{},
+		bdryAcks:  map[uint64]uint64{},
+		flushAcks: map[uint64]uint64{},
 	}
 }
+
+// EnableRetry arms the reliable-delivery machinery: retransmission of
+// boundary replays for missing bdry-ACKs with exponential backoff. The
+// machine calls it when a fault injector is attached; without it the queue
+// behaves exactly as the perfect-fabric protocol, decision for decision.
+func (q *Queue) EnableRetry() { q.retryEnabled = true }
+
+// SetDegraded switches the queue into degraded eager-persist mode — the
+// §IV-D deadlock-escape generalized to every region: when the normal gated
+// walk has nothing to do, the oldest entry is flushed ahead of its region's
+// global confirmation with its pre-image undo-logged, so a controller that
+// fell behind (stuck window, exhausted retry budget against it) drains its
+// backlog at PM bandwidth instead of wedging the persist path. Commits
+// retire a region's undo records; records of regions that never confirm are
+// rolled back by recovery, preserving all-or-nothing region persistence.
+func (q *Queue) SetDegraded() { q.degraded = true }
+
+// Degraded reports whether the queue is in degraded eager-persist mode.
+func (q *Queue) Degraded() bool { return q.degraded }
 
 // SetProbe attaches an instrumentation sink (nil detaches).
 func (q *Queue) SetProbe(s probe.Sink) { q.probe = s }
@@ -223,9 +291,21 @@ func (q *Queue) Accept(e Entry) bool {
 	return true
 }
 
-// OnMessage ingests a protocol message from another controller.
-func (q *Queue) OnMessage(m noc.Message) {
+// OnMessage ingests a protocol message from another controller at cycle now.
+func (q *Queue) OnMessage(now uint64, m noc.Message) {
 	if q.cfg.Mode != Gated {
+		return
+	}
+	if m.Kind == noc.MsgBdryReplay {
+		// A stalled peer is soliciting a (re-)ACK for m.Region. Reply iff
+		// this controller has the boundary — including when the region
+		// already committed here, since the original ACK may have been
+		// lost. A replay never creates boundary knowledge: that only ever
+		// arrives through this controller's own persist path, which is
+		// what guarantees its portion of the region is complete.
+		if m.Region < q.flushID || q.bdryRcvd[m.Region] {
+			q.sinks.Send(noc.Message{Kind: noc.MsgBdryAck, Region: m.Region, From: q.cfg.ID, To: m.From})
+		}
 		return
 	}
 	if m.Region < q.flushID {
@@ -233,18 +313,130 @@ func (q *Queue) OnMessage(m noc.Message) {
 	}
 	switch m.Kind {
 	case noc.MsgBdryAck:
-		q.bdryAcks[m.Region]++
+		q.recordAck(now, q.bdryAcks, m)
 	case noc.MsgFlushAck:
-		q.flushAcks[m.Region]++
+		q.recordAck(now, q.flushAcks, m)
 	case noc.MsgBoundary:
 		q.recordBoundary(m.Region)
 	}
 }
 
+// OnMessageSync ingests a message while temporarily routing any replies
+// through exchange instead of the (dead, at power failure) NoC. Used by the
+// power-failure drain, where ACK exchanges complete synchronously on
+// battery power.
+func (q *Queue) OnMessageSync(now uint64, m noc.Message, exchange func(m noc.Message)) {
+	saved := q.sinks.Send
+	q.sinks.Send = exchange
+	defer func() { q.sinks.Send = saved }()
+	q.OnMessage(now, m)
+}
+
+// recordAck notes that m.From acknowledged m.Region. Per-peer sets make
+// duplicated and re-solicited ACKs idempotent; the test-only BrokenDupAcks
+// config counts them instead, re-creating the pre-reliable-delivery bug.
+func (q *Queue) recordAck(now uint64, acks map[uint64]uint64, m noc.Message) {
+	if q.cfg.BrokenDupAcks {
+		acks[m.Region]++
+		return
+	}
+	bit := uint64(1) << uint(m.From)
+	if acks[m.Region]&bit != 0 {
+		q.DupSuppressed++
+		if q.probe != nil {
+			q.probe.Emit(probe.Event{Kind: probe.FabricDupSuppressed, Cycle: now,
+				Core: -1, MC: q.cfg.ID, Region: m.Region, Arg: uint64(m.From)})
+		}
+		return
+	}
+	acks[m.Region] |= bit
+}
+
+// peerMask is the bdry-ACK set that confirms a region: every controller but
+// this one.
+func (q *Queue) peerMask() uint64 {
+	return (uint64(1)<<uint(q.cfg.NumMCs) - 1) &^ (uint64(1) << uint(q.cfg.ID))
+}
+
 // canFlush reports whether region r's quarantine may open: its boundary
 // reached this controller and every other controller acknowledged it.
 func (q *Queue) canFlush(r uint64) bool {
-	return q.bdryRcvd[r] && q.bdryAcks[r] >= q.cfg.NumMCs-1
+	if !q.bdryRcvd[r] {
+		return false
+	}
+	if q.cfg.BrokenDupAcks {
+		return q.bdryAcks[r] >= uint64(q.cfg.NumMCs-1)
+	}
+	return q.bdryAcks[r] == q.peerMask()
+}
+
+// tickRetry drives the reliable-delivery timer: when the flush region has
+// its boundary but is missing bdry-ACKs, retransmit boundary replays to the
+// silent peers with bounded exponential backoff. Once the retry budget is
+// exhausted the silent peers are reported via Sinks.OnPeerTimeout (the
+// machine declares them degraded) and replaying continues at the maximum
+// backoff, so delivery still eventually succeeds under any drop rate.
+func (q *Queue) tickRetry(now uint64) {
+	fid := q.flushID
+	if !q.bdryRcvd[fid] || q.canFlush(fid) {
+		// Nothing to solicit: either the boundary hasn't arrived here yet
+		// (our own persist path will deliver it) or the region is fully
+		// acknowledged.
+		q.retryArmed = false
+		return
+	}
+	if !q.retryArmed || q.retryRegion != fid {
+		q.retryArmed, q.retryRegion, q.retryCount = true, fid, 0
+		q.retryAt = now + q.cfg.RetryTimeout
+		return
+	}
+	if now < q.retryAt {
+		return
+	}
+	exhausted := q.retryCount >= q.cfg.RetryBudget
+	if !exhausted {
+		q.retryCount++
+	}
+	q.retryAt = now + q.cfg.RetryTimeout<<uint(q.retryCount)
+	for m := 0; m < q.cfg.NumMCs; m++ {
+		if m == q.cfg.ID || (q.bdryAcks[fid]>>uint(m))&1 != 0 {
+			continue
+		}
+		if exhausted && q.sinks.OnPeerTimeout != nil {
+			q.sinks.OnPeerTimeout(m)
+		}
+		q.sinks.Send(noc.Message{Kind: noc.MsgBdryReplay, Region: fid, From: q.cfg.ID, To: m})
+		q.Retries++
+		if q.probe != nil {
+			q.probe.Emit(probe.Event{Kind: probe.FabricRetry, Cycle: now,
+				Core: -1, MC: q.cfg.ID, Region: fid, Arg: uint64(q.retryCount)})
+		}
+	}
+}
+
+// Reannounce re-broadcasts a boundary replay for every uncommitted region
+// this controller has received, soliciting fresh ACKs from every peer. The
+// power-failure drain runs one synchronous Reannounce round (exchange
+// delivers immediately, on battery power) before the flush verdicts when a
+// fault injector was attached: it heals ACKs the faulty fabric dropped, so
+// every controller's view of which boundaries are global is symmetric again
+// — exactly the fault-free invariant the drain protocol assumes.
+func (q *Queue) Reannounce(exchange func(m noc.Message)) {
+	if q.cfg.Mode != Gated {
+		return
+	}
+	regions := make([]uint64, 0, len(q.bdryRcvd))
+	for r := range q.bdryRcvd {
+		regions = append(regions, r)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	for _, r := range regions {
+		for m := 0; m < q.cfg.NumMCs; m++ {
+			if m != q.cfg.ID {
+				exchange(noc.Message{Kind: noc.MsgBdryReplay, Region: r, From: q.cfg.ID, To: m})
+			}
+		}
+	}
 }
 
 // Tick advances the queue one cycle.
@@ -252,6 +444,12 @@ func (q *Queue) Tick(now uint64) {
 	if q.cfg.Mode == FIFO {
 		q.tickFIFO(now)
 		return
+	}
+	if q.retryEnabled {
+		// The retransmission timer is control-plane logic, independent of
+		// the PM write port — this branch is the persist path's entire
+		// fault-free overhead.
+		q.tickRetry(now)
 	}
 	q.tickGated(now)
 }
@@ -306,17 +504,27 @@ func (q *Queue) tickGated(now uint64) {
 		}
 		q.commit(fid)
 	}
-	if q.overflow {
-		// Escape path: flush the oldest region's entries with their
-		// pre-images undo-logged, so recovery can revert them if the
-		// boundary never arrives (§IV-D).
-		if i := q.findRegion(q.flushID); i >= 0 {
+	if q.overflow || q.degraded {
+		// Escape path (§IV-D): flush ahead of global confirmation with the
+		// pre-image undo-logged, so recovery can revert the write if the
+		// region's boundary never becomes global. Overflow mode drains the
+		// currently persisting region; degraded mode generalizes it to the
+		// oldest entry of any region, which is what lets a degraded
+		// controller work off its backlog at PM bandwidth.
+		i := -1
+		if q.overflow {
+			i = q.findRegion(q.flushID)
+		}
+		if i < 0 && q.degraded && len(q.entries) > 0 {
+			i = 0
+		}
+		if i >= 0 {
 			e := q.entries[i]
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			q.undoLog(e.Addr)
+			q.undoLog(e.Addr, e.Region)
 			if q.probe != nil {
 				q.probe.Emit(probe.Event{Kind: probe.WPQUndo, Cycle: now,
-					Core: -1, MC: q.cfg.ID, Addr: e.Addr, Arg: uint64(q.undoCount)})
+					Core: -1, MC: q.cfg.ID, Addr: e.Addr, Arg: uint64(len(q.undoRecs))})
 			}
 			q.writePM(e)
 			q.busyUntil = now + q.cfg.PMWriteInterval + q.cfg.PMWriteExtra + q.cfg.PMWriteInterval
@@ -346,22 +554,41 @@ func (q *Queue) writePM(e Entry) {
 // ahead), and invalidated by zeroing the header when its region commits.
 func (q *Queue) undoBase() uint64 { return mem.UndoLogAddr(q.cfg.ID, 0) }
 
-func (q *Queue) undoLog(addr uint64) {
+func (q *Queue) undoLog(addr, region uint64) {
 	old := q.sinks.PMRead(addr)
 	base := q.undoBase()
-	rec := base + 8 + uint64(q.undoCount)*16
+	rec := base + 8 + uint64(len(q.undoRecs))*16
 	q.sinks.PMWrite(rec, addr)
 	q.sinks.PMWrite(rec+8, old)
-	q.undoCount++
-	q.sinks.PMWrite(base, uint64(q.undoCount))
+	q.undoRecs = append(q.undoRecs, undoRec{addr: addr, old: old, region: region})
+	q.sinks.PMWrite(base, uint64(len(q.undoRecs)))
 	q.UndoWrites++
 }
 
 func (q *Queue) commit(fid uint64) {
-	if q.undoCount > 0 {
-		// The region completed: its undo records are obsolete.
-		q.sinks.PMWrite(q.undoBase(), 0)
-		q.undoCount = 0
+	if len(q.undoRecs) > 0 {
+		// The region completed: its undo records are obsolete. Degraded
+		// mode may have eager-flushed later regions too — their records
+		// must stay live, so the surviving tail is compacted to the log
+		// head before the header shrinks.
+		keep := q.undoRecs[:0]
+		for _, r := range q.undoRecs {
+			if r.region > fid {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			q.sinks.PMWrite(q.undoBase(), 0)
+		} else if len(keep) != len(q.undoRecs) {
+			base := q.undoBase()
+			for i, r := range keep {
+				rec := base + 8 + uint64(i)*16
+				q.sinks.PMWrite(rec, r.addr)
+				q.sinks.PMWrite(rec+8, r.old)
+			}
+			q.sinks.PMWrite(base, uint64(len(keep)))
+		}
+		q.undoRecs = keep
 	}
 	delete(q.bdryRcvd, fid)
 	delete(q.bdryAcks, fid)

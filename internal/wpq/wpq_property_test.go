@@ -75,9 +75,9 @@ func TestGatedPrefixPropertyRandomized(t *testing.T) {
 			}
 		}
 		// Power failure: drain committable, discard the rest.
-		exchange := func(m noc.Message) { p.q[m.To].OnMessage(m) }
+		exchange := func(m noc.Message) { p.q[m.To].OnMessage(now, m) }
 		for _, m := range p.net {
-			p.q[m.To].OnMessage(m)
+			p.q[m.To].OnMessage(now, m)
 		}
 		p.net = nil
 		for {

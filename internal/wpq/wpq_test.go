@@ -38,7 +38,7 @@ func (p *pair) pump(now uint64) {
 	msgs := p.net
 	p.net = nil
 	for _, m := range msgs {
-		p.q[m.To].OnMessage(m)
+		p.q[m.To].OnMessage(now, m)
 	}
 	for i := range p.q {
 		p.q[i].Tick(now)
@@ -273,10 +273,10 @@ func TestDrainCommittableOnFailure(t *testing.T) {
 	p.q[1].Accept(Entry{Addr: 0x200, Val: 9, Region: 2})
 	// Deliver pending bdry-ACKs synchronously, then drain.
 	for _, m := range p.net {
-		p.q[m.To].OnMessage(m)
+		p.q[m.To].OnMessage(100, m)
 	}
 	p.net = nil
-	exchange := func(m noc.Message) { p.q[m.To].OnMessage(m) }
+	exchange := func(m noc.Message) { p.q[m.To].OnMessage(100, m) }
 	for {
 		progress := false
 		for i := range p.q {
@@ -314,7 +314,7 @@ func TestFIFOModeIgnoresControlAndMessages(t *testing.T) {
 		Sinks{PMWrite: func(a, v uint64) { pm.Write(a, v) }, PMRead: pm.Read,
 			Send: func(noc.Message) { t.Fatal("FIFO mode sent a protocol message") }})
 	q.AcceptControl(5)
-	q.OnMessage(noc.Message{Kind: noc.MsgBdryAck, Region: 5, From: 1, To: 0})
+	q.OnMessage(0, noc.Message{Kind: noc.MsgBdryAck, Region: 5, From: 1, To: 0})
 	q.Accept(Entry{Addr: 0x10, Val: 1, Region: 5})
 	for c := uint64(0); c < 5; c++ {
 		q.Tick(c)
@@ -334,8 +334,8 @@ func TestStaleMessagesIgnored(t *testing.T) {
 		t.Fatalf("flushID = %d", p.q[0].FlushID())
 	}
 	// A straggler ACK for region 1 must not corrupt bookkeeping.
-	p.q[0].OnMessage(noc.Message{Kind: noc.MsgFlushAck, Region: 1, From: 1, To: 0})
-	p.q[0].OnMessage(noc.Message{Kind: noc.MsgBdryAck, Region: 1, From: 1, To: 0})
+	p.q[0].OnMessage(61, noc.Message{Kind: noc.MsgFlushAck, Region: 1, From: 1, To: 0})
+	p.q[0].OnMessage(61, noc.Message{Kind: noc.MsgBdryAck, Region: 1, From: 1, To: 0})
 	p.run(61, 80)
 	if p.q[0].FlushID() != 2 {
 		t.Fatalf("stale message moved flushID to %d", p.q[0].FlushID())
