@@ -17,9 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
+	"lightwsp/internal/cli"
 	"lightwsp/internal/crashfuzz"
 	"lightwsp/internal/experiments"
 	"lightwsp/internal/faults"
@@ -53,29 +53,19 @@ type benchReport struct {
 }
 
 func main() {
-	var (
-		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "simulation worker-pool size")
-		cacheDir = flag.String("cache", os.Getenv(experiments.CacheDirEnv),
-			"persistent result-cache directory (empty disables; defaults to $"+experiments.CacheDirEnv+")")
-		verbose = flag.Bool("v", os.Getenv("BENCH_VERBOSE") != "",
-			"print one progress line per resolved run (run key, fresh/cached, wall time)")
-		jsonPath = flag.String("json", "",
-			"write a machine-readable run summary (e.g. BENCH_runner.json)")
-		timelineDir = flag.String("timeline-dir", "",
-			"write one Chrome trace-event timeline per fresh simulation into this directory")
-		faultsFlag = flag.String("faults", "",
-			"persist-fabric fault plan for the crashfuzz experiment, e.g. "+
-				"\"drop=10,dup=5,delay=20:48,reorder=5,stuck=1@100+500\" (empty/none: perfect fabric)")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's hashed decisions")
-	)
+	var common cli.Common
+	common.Register(flag.CommandLine)
+	jsonPath := flag.String("json", "",
+		"write a machine-readable run summary (e.g. BENCH_runner.json)")
+	timelineDir := flag.String("timeline-dir", "",
+		"write one Chrome trace-event timeline per fresh simulation into this directory")
 	flag.Parse()
 
-	plan, err := faults.ParsePlan(*faultsFlag)
+	plan, err := common.Plan()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	plan.Seed = *faultSeed
 
 	want := map[string]bool{}
 	for _, a := range flag.Args() {
@@ -83,39 +73,21 @@ func main() {
 	}
 	all := len(want) == 0
 
-	r := experiments.NewRunner()
-	r.SetWorkers(*workers)
-	r.SetCacheDir(*cacheDir)
+	r := common.NewRunner()
 	r.SetTimelineDir(*timelineDir)
-	if *verbose {
-		r.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
-	}
 
+	// The experiments registry plus the one driver that cannot live there
+	// (crashfuzz imports internal/experiments).
 	type exp struct {
 		name string
 		run  func() (fmt.Stringer, error)
 	}
-	exps := []exp{
-		{"fig7", func() (fmt.Stringer, error) { return experiments.Fig7(r) }},
-		{"fig8", func() (fmt.Stringer, error) { return experiments.Fig8(r) }},
-		{"fig9", func() (fmt.Stringer, error) { return experiments.Fig9(r) }},
-		{"fig10", func() (fmt.Stringer, error) { return experiments.Fig10(r) }},
-		{"fig11", func() (fmt.Stringer, error) { return experiments.Fig11(r) }},
-		{"fig12", func() (fmt.Stringer, error) { return experiments.Fig12(r) }},
-		{"fig13", func() (fmt.Stringer, error) { return experiments.Fig13(r) }},
-		{"fig14", func() (fmt.Stringer, error) { return experiments.Fig14(r) }},
-		{"fig15", func() (fmt.Stringer, error) { return experiments.Fig15(r) }},
-		{"fig16", func() (fmt.Stringer, error) { return experiments.Fig16(r) }},
-		{"fig17", func() (fmt.Stringer, error) { return experiments.Fig17(r) }},
-		{"fig18", func() (fmt.Stringer, error) { return experiments.Fig18(r) }},
-		{"tab2", func() (fmt.Stringer, error) { return experiments.Table2(r) }},
-		{"regions", func() (fmt.Stringer, error) { return experiments.RegionStats(r) }},
-		{"hwcost", func() (fmt.Stringer, error) { return experiments.HWCost(8, 2), nil }},
-		{"recovery", func() (fmt.Stringer, error) { return experiments.RecoverySweep(10) }},
-		{"crashfuzz", func() (fmt.Stringer, error) { return crashfuzzSmoke(*workers, plan) }},
-		{"ablation-lrpo", func() (fmt.Stringer, error) { return experiments.AblationLRPO(r) }},
-		{"ablation-compiler", func() (fmt.Stringer, error) { return experiments.AblationCompiler(r) }},
+	var exps []exp
+	for _, e := range experiments.Registry() {
+		e := e
+		exps = append(exps, exp{e.Name, func() (fmt.Stringer, error) { return e.Run(r) }})
 	}
+	exps = append(exps, exp{"crashfuzz", func() (fmt.Stringer, error) { return crashfuzzSmoke(common.Workers, plan) }})
 	known := map[string]bool{}
 	for _, e := range exps {
 		known[e.name] = true
@@ -148,9 +120,9 @@ func main() {
 	}
 
 	c := r.Counters()
-	if *verbose {
+	if common.Verbose {
 		fmt.Fprintf(os.Stderr, "runner: %d distinct runs (%d fresh, %d from disk cache), %d memo hits, %d workers, %.1fs\n",
-			c.Fresh+c.DiskHits, c.Fresh, c.DiskHits, c.MemHits, *workers, time.Since(start).Seconds())
+			c.Fresh+c.DiskHits, c.Fresh, c.DiskHits, c.MemHits, common.Workers, time.Since(start).Seconds())
 		fmt.Fprint(os.Stderr, experiments.AggregateMetrics(r.Manifests()).String())
 	}
 	if *jsonPath != "" {
@@ -160,7 +132,7 @@ func main() {
 			FreshRuns:     c.Fresh,
 			DiskCacheHits: c.DiskHits,
 			MemCacheHits:  c.MemHits,
-			Workers:       *workers,
+			Workers:       common.Workers,
 			WallSeconds:   time.Since(start).Seconds(),
 			Experiments:   ran,
 			Metrics:       experiments.AggregateMetrics(runs),

@@ -16,17 +16,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strings"
 	"time"
 
+	"lightwsp/internal/cli"
 	"lightwsp/internal/crashfuzz"
-	"lightwsp/internal/experiments"
-	"lightwsp/internal/faults"
 	"lightwsp/internal/workload"
 )
 
 func main() {
+	var common cli.Common
+	common.Register(flag.CommandLine)
 	var (
 		suite = flag.String("suite", "", "workload suite (with -app; e.g. cpu2006)")
 		app   = flag.String("app", "", "workload name within -suite")
@@ -40,20 +39,12 @@ func main() {
 			"sampled-mode random injection-cycle budget (plus probe-guided cycles)")
 		cuts = flag.Int("cuts", 1,
 			"successive power failures per schedule (>1 includes cuts during recovery)")
-		seed       = flag.Int64("seed", 1, "campaign seed (same seed = same schedule plan)")
-		faultsFlag = flag.String("faults", "",
-			"persist-fabric fault plan for every replay segment, e.g. "+
-				"\"drop=10,dup=5,delay=20:48,reorder=5,stuck=1@100+500\" (empty/none: perfect fabric)")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's hashed decisions")
-		workers   = flag.Int("j", runtime.GOMAXPROCS(0), "replay worker-pool size")
-		outDir    = flag.String("out", "",
+		seed   = flag.Int64("seed", 1, "campaign seed (same seed = same schedule plan)")
+		outDir = flag.String("out", "",
 			"directory for repro files and the campaign manifest (empty: none written)")
-		cacheDir = flag.String("cache", os.Getenv(experiments.CacheDirEnv),
-			"verdict-cache directory (empty disables; defaults to $"+experiments.CacheDirEnv+")")
 		jsonPath = flag.String("json", "", "write all campaign manifests to this file as JSON")
 		replay   = flag.String("replay", "",
 			"replay a repro file instead of running a campaign")
-		verbose = flag.Bool("v", false, "print progress lines")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -66,12 +57,11 @@ func main() {
 		os.Exit(runReplay(*replay))
 	}
 
-	plan, err := faults.ParsePlan(*faultsFlag)
+	plan, err := common.Plan()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	plan.Seed = *faultSeed
 
 	var profiles []workload.Profile
 	switch {
@@ -80,7 +70,7 @@ func main() {
 	case *nightly:
 		profiles = workload.FuzzNightlyProfiles()
 	case *suite != "" && *app != "":
-		p, ok := findProfile(*suite, *app)
+		p, ok := workload.Find(*suite, *app)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown workload %s/%s\n", *suite, *app)
 			os.Exit(2)
@@ -92,11 +82,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cache *experiments.BlobCache
-	if *cacheDir != "" {
-		cache = experiments.NewBlobCache(*cacheDir)
-	}
-	pool := experiments.NewPool(*workers)
+	cache := common.BlobCache()
+	pool := common.NewPool()
 
 	start := time.Now()
 	divergences := 0
@@ -113,9 +100,7 @@ func main() {
 			Cache:               cache,
 			OutDir:              *outDir,
 		}
-		if *verbose {
-			cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
-		}
+		cfg.Progress = common.Progress()
 		res, err := crashfuzz.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s/%s: %v\n", p.Suite, p.Name, err)
@@ -143,24 +128,6 @@ func main() {
 	if divergences > 0 {
 		os.Exit(1)
 	}
-}
-
-// findProfile resolves -suite/-app against the benchmark registry and the
-// fuzz profile sets, matching the suite case-insensitively.
-func findProfile(suite, app string) (workload.Profile, bool) {
-	for _, s := range workload.Suites() {
-		if strings.EqualFold(string(s), suite) {
-			if p, ok := workload.ByName(s, app); ok {
-				return p, true
-			}
-		}
-	}
-	for _, p := range workload.FuzzNightlyProfiles() {
-		if strings.EqualFold(string(p.Suite), suite) && p.Name == app {
-			return p, true
-		}
-	}
-	return workload.Profile{}, false
 }
 
 // runReplay re-executes one repro file and reports whether it still fails.

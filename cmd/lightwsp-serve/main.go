@@ -1,0 +1,84 @@
+// Command lightwsp-serve exposes the simulation harness as a long-running
+// HTTP/JSON daemon: compile, run, run-with-failure, crash-fuzzing and full
+// experiment endpoints over one process-wide result cache and worker pool,
+// so a fleet of clients shares simulations instead of re-running them.
+//
+//	lightwsp-serve -addr :8080 -j 8 -cache /var/cache/lightwsp
+//
+// Requests beyond the worker pool plus queue get 429 with Retry-After. On
+// SIGTERM/SIGINT the server drains: /healthz flips to 503, new work is
+// refused, in-flight requests finish (bounded by -drain-timeout), the
+// cache manifest is flushed, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lightwsp/internal/cli"
+	"lightwsp/internal/server"
+)
+
+func main() {
+	var common cli.Common
+	common.Register(flag.CommandLine)
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		queue = flag.Int("queue", 0,
+			"admission queue depth beyond the worker pool (0: twice the workers)")
+		timeout = flag.Duration("timeout", 0,
+			"default per-request deadline (0: unbounded; requests may set timeout_ms)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"how long graceful shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		Workers:        common.Workers,
+		QueueDepth:     *queue,
+		CacheDir:       common.CacheDir,
+		RequestTimeout: *timeout,
+		Progress:       common.Progress(),
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "lightwsp-serve: listening on %s (%d workers)\n", *addr, common.Workers)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "lightwsp-serve: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "lightwsp-serve: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "lightwsp-serve: shutdown: %v\n", err)
+	}
+	<-errc // ListenAndServe has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "lightwsp-serve: done")
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,7 +60,7 @@ func run(suite, app string, failAt float64, threads int, verbose, traceOrder boo
 	if cfg.Threads > cfg.Cores {
 		cfg.Cores = cfg.Threads
 	}
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, cfg)
+	rt, err := lightwsp.Open(prog, lightwsp.WithConfig(cfg))
 	if err != nil {
 		return err
 	}
@@ -130,7 +131,7 @@ func run(suite, app string, failAt float64, threads int, verbose, traceOrder boo
 	if fail == 0 {
 		fail = 1
 	}
-	res, err := rt.RunWithFailure(fail, budget)
+	res, err := rt.RunWithFailure(context.Background(), fail, budget)
 	if err != nil {
 		return err
 	}

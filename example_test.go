@@ -1,6 +1,7 @@
 package lightwsp_test
 
 import (
+	"context"
 	"fmt"
 
 	"lightwsp"
@@ -10,6 +11,7 @@ import (
 // the power anywhere, recover, and the persisted data is exactly what a
 // failure-free run produces.
 func Example() {
+	ctx := context.Background()
 	b := lightwsp.NewProgramBuilder("example")
 	b.Func("main")
 	b.MovImm(1, 0x1000) // pointer
@@ -30,15 +32,15 @@ func Example() {
 		panic(err)
 	}
 
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		panic(err)
 	}
-	clean, err := rt.RunToCompletion(1_000_000)
+	clean, err := rt.Run(ctx, 1_000_000)
 	if err != nil {
 		panic(err)
 	}
-	res, err := rt.RunWithFailure(clean.Stats.Cycles/2, 1_000_000)
+	res, err := rt.RunWithFailure(ctx, clean.Stats.Cycles/2, 1_000_000)
 	if err != nil {
 		panic(err)
 	}
@@ -50,4 +52,39 @@ func Example() {
 	// Output:
 	// failed: true
 	// last word: 9
+}
+
+// ExampleOpen shows the functional-options entry point: configuration
+// layers over defaults, and a metrics sink rides along on the run.
+func ExampleOpen() {
+	b := lightwsp.NewProgramBuilder("open")
+	b.Func("main")
+	b.MovImm(1, 0x2000)
+	b.MovImm(2, 7)
+	b.Store(1, 0, 2)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	cfg := lightwsp.DefaultConfig()
+	cfg.Threads = 1
+	m := lightwsp.NewMetrics()
+	rt, err := lightwsp.Open(prog,
+		lightwsp.WithConfig(cfg),
+		lightwsp.WithMetrics(m),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sys, err := rt.Run(context.Background(), 1_000_000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("value:", sys.PM().Read(0x2000))
+	fmt.Println("regions closed:", m.Snapshot().RegionsClosed > 0)
+	// Output:
+	// value: 7
+	// regions closed: true
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,15 +40,16 @@ func buildProgram() (*lightwsp.Program, error) {
 }
 
 func main() {
+	ctx := context.Background()
 	prog, err := buildProgram()
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, err := rt.RunToCompletion(1_000_000)
+	clean, err := rt.Run(ctx, 1_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,15 +38,16 @@ func buildProgram() (*lightwsp.Program, error) {
 }
 
 func main() {
+	ctx := context.Background()
 	prog, err := buildProgram()
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, err := rt.RunToCompletion(5_000_000)
+	clean, err := rt.Run(ctx, 5_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +58,7 @@ func main() {
 		clean.Stats.Cycles / 8,
 		clean.Stats.Cycles / 20,
 	} {
-		res, err := rt.RunWithRepeatedFailures(interval, 50_000_000)
+		res, err := rt.RunWithRepeatedFailures(ctx, interval, 50_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -85,15 +86,16 @@ func buildStore() (*lightwsp.Program, error) {
 }
 
 func main() {
+	ctx := context.Background()
 	prog, err := buildStore()
 	if err != nil {
 		log.Fatal(err)
 	}
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, err := rt.RunToCompletion(10_000_000)
+	clean, err := rt.Run(ctx, 10_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func main() {
 	// Crash the store at 10%, 35%, 60% and 85% of the run.
 	for _, pct := range []uint64{10, 35, 60, 85} {
 		fail := clean.Stats.Cycles * pct / 100
-		res, err := rt.RunWithFailure(fail, 10_000_000)
+		res, err := rt.RunWithFailure(ctx, fail, 10_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,17 +74,18 @@ func expectedSum() uint64 {
 }
 
 func main() {
+	ctx := context.Background()
 	prog, err := buildKernel()
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg := lightwsp.DefaultConfig()
 	cfg.Threads = threads
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, cfg)
+	rt, err := lightwsp.Open(prog, lightwsp.WithConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, err := rt.RunToCompletion(50_000_000)
+	clean, err := rt.Run(ctx, 50_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,7 +97,7 @@ func main() {
 		threads, want, clean.Stats.Cycles, clean.Stats.RegionsClosed)
 
 	for _, pct := range []uint64{20, 50, 80} {
-		res, err := rt.RunWithFailure(clean.Stats.Cycles*pct/100, 50_000_000)
+		res, err := rt.RunWithFailure(ctx, clean.Stats.Cycles*pct/100, 50_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +12,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A program that sums 1..100 into memory, one running total per step —
 	// ordinary code, no persistence annotations anywhere.
 	b := lightwsp.NewProgramBuilder("quickstart")
@@ -37,11 +39,11 @@ func main() {
 
 	// Compile for LightWSP (region partitioning + register checkpointing)
 	// and boot the Table I machine.
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	clean, err := rt.RunToCompletion(1_000_000)
+	clean, err := rt.Run(ctx, 1_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func main() {
 	// Now cut the power mid-run. The §IV-F protocol drains the write
 	// pending queues, recovery reloads registers from the checkpoint
 	// array, and execution resumes at the last persisted region boundary.
-	res, err := rt.RunWithFailure(clean.Stats.Cycles/2, 1_000_000)
+	res, err := rt.RunWithFailure(ctx, clean.Stats.Cycles/2, 1_000_000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+// Package cli holds the flag and environment plumbing every lightwsp command
+// shares: worker-pool sizing (-j), the persistent result cache (-cache),
+// verbosity (-v) and the persist-fabric fault plan (-faults/-fault-seed).
+// Before this package each binary re-declared the same five flags with
+// subtly different defaults; now the flags, their env-var fallbacks and the
+// construction of the configured Runner/Pool/BlobCache live in one place,
+// and lightwsp-serve reuses the identical knobs for its daemon.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+
+	"lightwsp/internal/experiments"
+	"lightwsp/internal/faults"
+)
+
+// Environment fallbacks for the shared flags: each flag's default comes from
+// its variable when set, so CI lanes and containers configure the tools
+// without threading flags through every invocation. The cache directory
+// reuses experiments.CacheDirEnv (LIGHTWSP_CACHE_DIR).
+const (
+	// WorkersEnv overrides the default worker-pool size (-j).
+	WorkersEnv = "LIGHTWSP_WORKERS"
+	// VerboseEnv, when non-empty, turns on progress lines (-v). The legacy
+	// BENCH_VERBOSE spelling is honored too.
+	VerboseEnv = "LIGHTWSP_VERBOSE"
+	// FaultsEnv supplies a default persist-fabric fault plan (-faults).
+	FaultsEnv = "LIGHTWSP_FAULTS"
+	// FaultSeedEnv supplies the default fault-plan seed (-fault-seed).
+	FaultSeedEnv = "LIGHTWSP_FAULT_SEED"
+)
+
+// Common is the resolved shared configuration. Zero value + Register +
+// fs.Parse yields a fully resolved config; the accessors below construct the
+// configured building blocks.
+type Common struct {
+	// Workers sizes every worker pool (default: $LIGHTWSP_WORKERS, else
+	// GOMAXPROCS).
+	Workers int
+	// CacheDir roots the persistent result/verdict cache; empty disables
+	// (default: $LIGHTWSP_CACHE_DIR).
+	CacheDir string
+	// Verbose enables progress lines on stderr.
+	Verbose bool
+	// FaultSpec is the -faults plan text; empty or "none" means a perfect
+	// fabric.
+	FaultSpec string
+	// FaultSeed seeds the fault plan's hashed decisions.
+	FaultSeed int64
+}
+
+// Register installs the shared flags on fs with their environment-derived
+// defaults.
+func (c *Common) Register(fs *flag.FlagSet) {
+	fs.IntVar(&c.Workers, "j", envInt(WorkersEnv, runtime.GOMAXPROCS(0)),
+		"simulation worker-pool size (default $"+WorkersEnv+" or GOMAXPROCS)")
+	fs.StringVar(&c.CacheDir, "cache", os.Getenv(experiments.CacheDirEnv),
+		"persistent result-cache directory (empty disables; defaults to $"+experiments.CacheDirEnv+")")
+	fs.BoolVar(&c.Verbose, "v", os.Getenv(VerboseEnv) != "" || os.Getenv("BENCH_VERBOSE") != "",
+		"print progress lines (default set when $"+VerboseEnv+" is non-empty)")
+	fs.StringVar(&c.FaultSpec, "faults", os.Getenv(FaultsEnv),
+		"persist-fabric fault plan, e.g. \"drop=10,dup=5,delay=20:48,reorder=5,stuck=1@100+500\" "+
+			"(empty/none: perfect fabric; defaults to $"+FaultsEnv+")")
+	fs.Int64Var(&c.FaultSeed, "fault-seed", envInt64(FaultSeedEnv, 1),
+		"seed for the fault plan's hashed decisions (default $"+FaultSeedEnv+" or 1)")
+}
+
+// Plan parses and seeds the fault plan.
+func (c *Common) Plan() (faults.Plan, error) {
+	plan, err := faults.ParsePlan(c.FaultSpec)
+	if err != nil {
+		return faults.Plan{}, err
+	}
+	plan.Seed = c.FaultSeed
+	return plan, nil
+}
+
+// Progress returns the stderr progress callback, or nil unless Verbose.
+func (c *Common) Progress() func(string) {
+	if !c.Verbose {
+		return nil
+	}
+	return func(s string) { fmt.Fprintln(os.Stderr, s) }
+}
+
+// NewPool returns a worker pool of the configured size.
+func (c *Common) NewPool() *experiments.Pool { return experiments.NewPool(c.Workers) }
+
+// NewRunner returns a Runner configured with the shared knobs: pool size,
+// cache directory, progress callback.
+func (c *Common) NewRunner() *experiments.Runner {
+	r := experiments.NewRunner()
+	r.SetWorkers(c.Workers)
+	r.SetCacheDir(c.CacheDir)
+	r.SetProgress(c.Progress())
+	return r
+}
+
+// BlobCache returns the shared blob cache rooted at CacheDir, or nil when
+// caching is disabled.
+func (c *Common) BlobCache() *experiments.BlobCache {
+	if c.CacheDir == "" {
+		return nil
+	}
+	return experiments.NewBlobCache(c.CacheDir)
+}
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func envInt64(name string, def int64) int64 {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}

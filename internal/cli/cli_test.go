@@ -1,0 +1,82 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+// parse registers the shared flags on a fresh FlagSet and parses args.
+func parse(t *testing.T, args ...string) Common {
+	t.Helper()
+	var c Common
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnvFallbacks(t *testing.T) {
+	t.Setenv(WorkersEnv, "3")
+	t.Setenv("LIGHTWSP_CACHE_DIR", "/tmp/lw-cache")
+	t.Setenv(VerboseEnv, "1")
+	t.Setenv(FaultsEnv, "drop=10")
+	t.Setenv(FaultSeedEnv, "42")
+
+	c := parse(t)
+	if c.Workers != 3 || c.CacheDir != "/tmp/lw-cache" || !c.Verbose ||
+		c.FaultSpec != "drop=10" || c.FaultSeed != 42 {
+		t.Fatalf("env defaults not honored: %+v", c)
+	}
+	plan, err := c.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Enabled() || plan.Seed != 42 {
+		t.Fatalf("plan = %+v, want enabled with seed 42", plan)
+	}
+}
+
+func TestFlagsOverrideEnv(t *testing.T) {
+	t.Setenv(WorkersEnv, "3")
+	t.Setenv(FaultSeedEnv, "42")
+
+	c := parse(t, "-j", "5", "-fault-seed", "7", "-cache", "")
+	if c.Workers != 5 || c.FaultSeed != 7 || c.CacheDir != "" {
+		t.Fatalf("flags did not override env: %+v", c)
+	}
+	if c.BlobCache() != nil {
+		t.Fatal("empty cache dir must disable the blob cache")
+	}
+}
+
+func TestInvalidEnvFallsBack(t *testing.T) {
+	t.Setenv(WorkersEnv, "not-a-number")
+	t.Setenv(FaultSeedEnv, "zzz")
+
+	c := parse(t)
+	if c.Workers < 1 {
+		t.Fatalf("workers = %d, want the GOMAXPROCS default", c.Workers)
+	}
+	if c.FaultSeed != 1 {
+		t.Fatalf("fault seed = %d, want the default 1", c.FaultSeed)
+	}
+}
+
+func TestProgressNilUnlessVerbose(t *testing.T) {
+	c := parse(t)
+	if c.Progress() != nil {
+		t.Fatal("progress callback without -v")
+	}
+	c = parse(t, "-v")
+	if c.Progress() == nil {
+		t.Fatal("no progress callback with -v")
+	}
+	if r := c.NewRunner(); r == nil {
+		t.Fatal("NewRunner returned nil")
+	}
+	if p := c.NewPool(); p.Size() != c.Workers {
+		t.Fatalf("pool size %d, want %d", p.Size(), c.Workers)
+	}
+}

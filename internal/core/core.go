@@ -6,13 +6,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/isa"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/mem"
+	"lightwsp/internal/probe"
 	"lightwsp/internal/recovery"
+	"lightwsp/internal/wsperr"
 )
 
 // Scheme returns LightWSP's hardware behaviour: every store travels the
@@ -30,18 +33,40 @@ func Scheme() machine.Scheme {
 	}
 }
 
-// Runtime holds a compiled program and the machine configuration, ready to
-// boot systems, inject failures and recover.
+// Runtime holds a program bound to a machine configuration and persistence
+// scheme, ready to boot systems, inject failures and recover. For
+// instrumented schemes Compiled carries the region compiler's output; for
+// uninstrumented comparison schemes it is nil and the program runs as built.
 type Runtime struct {
+	// Compiled is the region compiler's result — nil when the scheme is
+	// uninstrumented (baseline, ideal PSP), which also means no recovery
+	// metadata exists and failure injection cannot recover.
 	Compiled *compiler.Result
 	Cfg      machine.Config
 	Sch      machine.Scheme
+	// Probe, when non-nil, is attached to every system this runtime boots
+	// (clean boots and recoveries alike).
+	Probe probe.Sink
+
+	prog *isa.Program // the source program, pre-compilation
 }
 
 // NewRuntime compiles prog for LightWSP under the given configurations.
 // The compiler's store threshold defaults to half the WPQ size (§IV-A) when
 // ccfg.StoreThreshold is zero.
 func NewRuntime(prog *isa.Program, ccfg compiler.Config, mcfg machine.Config) (*Runtime, error) {
+	return NewRuntimeFor(prog, ccfg, mcfg, Scheme(), nil)
+}
+
+// NewRuntimeFor builds a runtime for an arbitrary scheme: instrumented
+// schemes compile prog first (a zero ccfg.StoreThreshold resolves to half
+// the WPQ size), uninstrumented ones run it as built. sink, when non-nil,
+// is attached to every system the runtime boots.
+func NewRuntimeFor(prog *isa.Program, ccfg compiler.Config, mcfg machine.Config, sch machine.Scheme, sink probe.Sink) (*Runtime, error) {
+	rt := &Runtime{Cfg: mcfg, Sch: sch, Probe: sink, prog: prog}
+	if !sch.Instrumented {
+		return rt, nil
+	}
 	if ccfg.StoreThreshold == 0 {
 		ccfg.StoreThreshold = mcfg.WPQEntries / 2
 		if ccfg.MaxUnroll == 0 {
@@ -52,29 +77,67 @@ func NewRuntime(prog *isa.Program, ccfg compiler.Config, mcfg machine.Config) (*
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{Compiled: res, Cfg: mcfg, Sch: Scheme()}, nil
+	rt.Compiled = res
+	return rt, nil
 }
 
-// NewSystem boots a fresh machine running the compiled program.
+// Prog returns the program a booted system will run: the compiler's output
+// for instrumented schemes, the source program otherwise.
+func (rt *Runtime) Prog() *isa.Program {
+	if rt.Compiled != nil {
+		return rt.Compiled.Prog
+	}
+	return rt.prog
+}
+
+// NewSystem boots a fresh machine running the program, with the runtime's
+// probe sink (if any) attached.
 func (rt *Runtime) NewSystem() (*machine.System, error) {
-	return machine.NewSystem(rt.Compiled.Prog, rt.Cfg, rt.Sch)
+	sys, err := machine.NewSystem(rt.Prog(), rt.Cfg, rt.Sch)
+	if err != nil {
+		return nil, err
+	}
+	if rt.Probe != nil {
+		sys.SetProbeSink(rt.Probe)
+	}
+	return sys, nil
 }
 
-// Recover builds a machine resuming from a crash image.
+// Recover builds a machine resuming from a crash image. Failures to rebuild
+// a resumable machine wrap wsperr.ErrUnrecoverable.
 func (rt *Runtime) Recover(pm *mem.Image, regionCounter uint64) (*machine.System, error) {
-	return recovery.Recover(rt.Compiled.Prog, rt.Cfg, rt.Sch, pm, rt.Compiled.Recipes, regionCounter)
+	if rt.Compiled == nil {
+		return nil, fmt.Errorf("core: scheme %q has no recovery metadata: %w", rt.Sch.Name, wsperr.ErrUnrecoverable)
+	}
+	sys, err := recovery.Recover(rt.Compiled.Prog, rt.Cfg, rt.Sch, pm, rt.Compiled.Recipes, regionCounter)
+	if err != nil {
+		return nil, fmt.Errorf("core: %v: %w", err, wsperr.ErrUnrecoverable)
+	}
+	if rt.Probe != nil {
+		sys.SetProbeSink(rt.Probe)
+	}
+	return sys, nil
 }
 
-// RunToCompletion boots and runs a system to the end, returning it.
-func (rt *Runtime) RunToCompletion(maxCycles uint64) (*machine.System, error) {
+// Run boots and runs a system to the end, returning it. Cancellation is
+// honored at cycle-batch granularity; the returned error wraps
+// wsperr.ErrCanceled, wsperr.ErrWPQOverflow or wsperr.ErrCyclesExceeded.
+func (rt *Runtime) Run(ctx context.Context, maxCycles uint64) (*machine.System, error) {
 	sys, err := rt.NewSystem()
 	if err != nil {
 		return nil, err
 	}
-	if !sys.Run(maxCycles) {
-		return nil, fmt.Errorf("core: run exceeded %d cycles", maxCycles)
+	if err := sys.RunContext(ctx, maxCycles); err != nil {
+		return nil, err
 	}
 	return sys, nil
+}
+
+// RunToCompletion boots and runs a system to the end, returning it.
+//
+// Deprecated: use Run, which takes a context.
+func (rt *Runtime) RunToCompletion(maxCycles uint64) (*machine.System, error) {
+	return rt.Run(context.Background(), maxCycles)
 }
 
 // CrashResult reports one crash/recover round trip.
@@ -94,13 +157,18 @@ type CrashResult struct {
 
 // RunWithFailure runs the program, cuts power at failCycle, drains, recovers
 // and runs the recovered system to completion. If the program finishes
-// before failCycle, no failure is injected.
-func (rt *Runtime) RunWithFailure(failCycle, maxCycles uint64) (*CrashResult, error) {
+// before failCycle, no failure is injected. Cancellation is honored at
+// cycle-batch granularity in both the pre-failure and recovered runs.
+func (rt *Runtime) RunWithFailure(ctx context.Context, failCycle, maxCycles uint64) (*CrashResult, error) {
 	sys, err := rt.NewSystem()
 	if err != nil {
 		return nil, err
 	}
-	if sys.RunUntil(failCycle) {
+	done, err := sys.RunUntilContext(ctx, failCycle)
+	if err != nil {
+		return nil, err
+	}
+	if done {
 		return &CrashResult{Failed: false, Recovered: sys}, nil
 	}
 	rep := sys.PowerFail()
@@ -108,8 +176,8 @@ func (rt *Runtime) RunWithFailure(failCycle, maxCycles uint64) (*CrashResult, er
 	if err != nil {
 		return nil, err
 	}
-	if !rec.Run(maxCycles) {
-		return nil, fmt.Errorf("core: recovered run exceeded %d cycles", maxCycles)
+	if err := rec.RunContext(ctx, maxCycles); err != nil {
+		return nil, fmt.Errorf("core: recovered run: %w", err)
 	}
 	return &CrashResult{Failed: true, Report: rep, Recovered: rec, Rollbacks: 1}, nil
 }
@@ -124,8 +192,8 @@ func (rt *Runtime) RunWithFailure(failCycle, maxCycles uint64) (*CrashResult, er
 // (store-buffer drain + persist-path transit + WPQ flush), or no run can
 // ever persist a new boundary and the program cannot make progress; that
 // situation is detected (the persisted image stops changing across rounds)
-// and reported as an error.
-func (rt *Runtime) RunWithRepeatedFailures(interval, maxCycles uint64) (*CrashResult, error) {
+// and reported as an error wrapping wsperr.ErrUnrecoverable.
+func (rt *Runtime) RunWithRepeatedFailures(ctx context.Context, interval, maxCycles uint64) (*CrashResult, error) {
 	if interval == 0 {
 		return nil, fmt.Errorf("core: zero failure interval")
 	}
@@ -138,9 +206,13 @@ func (rt *Runtime) RunWithRepeatedFailures(interval, maxCycles uint64) (*CrashRe
 	lastFingerprint := ""
 	for round := 0; ; round++ {
 		if round > int(maxCycles/interval)+1 {
-			return nil, fmt.Errorf("core: no forward progress after %d failure rounds", round)
+			return nil, fmt.Errorf("core: no forward progress after %d failure rounds: %w", round, wsperr.ErrUnrecoverable)
 		}
-		if sys.RunUntil(sys.Cycle() + interval) {
+		done, err := sys.RunUntilContext(ctx, sys.Cycle()+interval)
+		if err != nil {
+			return nil, err
+		}
+		if done {
 			res.Recovered = sys
 			return res, nil
 		}
@@ -151,7 +223,8 @@ func (rt *Runtime) RunWithRepeatedFailures(interval, maxCycles uint64) (*CrashRe
 		if fp := recoveryFingerprint(sys, rt.Cfg.Threads); fp == lastFingerprint {
 			stagnant++
 			if stagnant >= 8 {
-				return nil, fmt.Errorf("core: failure interval %d too short to persist a region (no progress over %d rounds)", interval, stagnant)
+				return nil, fmt.Errorf("core: failure interval %d too short to persist a region (no progress over %d rounds): %w",
+					interval, stagnant, wsperr.ErrUnrecoverable)
 			}
 		} else {
 			lastFingerprint, stagnant = fp, 0
@@ -177,12 +250,12 @@ func recoveryFingerprint(sys *machine.System, threads int) string {
 // failure at failCycle, and checks that the final persisted program data is
 // identical (DESIGN.md invariant 5). It returns the failure-free system for
 // further inspection.
-func (rt *Runtime) VerifyCrashConsistency(failCycle, maxCycles uint64) (*machine.System, error) {
-	clean, err := rt.RunToCompletion(maxCycles)
+func (rt *Runtime) VerifyCrashConsistency(ctx context.Context, failCycle, maxCycles uint64) (*machine.System, error) {
+	clean, err := rt.Run(ctx, maxCycles)
 	if err != nil {
 		return nil, err
 	}
-	crashed, err := rt.RunWithFailure(failCycle, maxCycles)
+	crashed, err := rt.RunWithFailure(ctx, failCycle, maxCycles)
 	if err != nil {
 		return nil, err
 	}

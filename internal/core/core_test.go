@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"lightwsp/internal/compiler"
@@ -124,7 +126,7 @@ func TestCrashConsistencySweep(t *testing.T) {
 		step = 1
 	}
 	for fail := uint64(1); fail < total+step; fail += step {
-		res, err := rt.RunWithFailure(fail, maxCycles)
+		res, err := rt.RunWithFailure(context.Background(), fail, maxCycles)
 		if err != nil {
 			t.Fatalf("failure at %d: %v", fail, err)
 		}
@@ -140,7 +142,7 @@ func TestRepeatedFailuresMakeProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rt.RunWithRepeatedFailures(maxUint64(clean.Stats.Cycles/5, 350), maxCycles)
+	res, err := rt.RunWithRepeatedFailures(context.Background(), maxUint64(clean.Stats.Cycles/5, 350), maxCycles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +179,7 @@ func TestRecoveryUsesRecipes(t *testing.T) {
 	}
 	total := clean.Stats.Cycles
 	for _, frac := range []uint64{4, 3, 2} {
-		res, err := rt.RunWithFailure(total/frac, maxCycles)
+		res, err := rt.RunWithFailure(context.Background(), total/frac, maxCycles)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +195,7 @@ func TestNoFailureBeforeCompletionIsIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rt.RunWithFailure(clean.Stats.Cycles+1000, maxCycles)
+	res, err := rt.RunWithFailure(context.Background(), clean.Stats.Cycles+1000, maxCycles)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +247,7 @@ func TestMultiThreadLockedCounterCrashConsistency(t *testing.T) {
 		step = 1
 	}
 	for fail := step; fail < total; fail += step {
-		res, err := rt.RunWithFailure(fail, maxCycles)
+		res, err := rt.RunWithFailure(context.Background(), fail, maxCycles)
 		if err != nil {
 			t.Fatalf("failure at %d: %v", fail, err)
 		}
@@ -430,7 +432,7 @@ func TestOverflowEscapeEndToEnd(t *testing.T) {
 		step = 1
 	}
 	for fail := step; fail < total; fail += step {
-		res, err := rt.RunWithFailure(fail, maxCycles)
+		res, err := rt.RunWithFailure(context.Background(), fail, maxCycles)
 		if err != nil {
 			t.Fatalf("failure at %d: %v", fail, err)
 		}
@@ -486,7 +488,7 @@ func TestConstPrunedAcrossCallResume(t *testing.T) {
 	}
 	total := clean.Stats.Cycles
 	for fail := uint64(1); fail < total; fail += total/29 + 1 {
-		res, err := rt.RunWithFailure(fail, maxCycles)
+		res, err := rt.RunWithFailure(context.Background(), fail, maxCycles)
 		if err != nil {
 			t.Fatalf("failure at %d: %v", fail, err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"lightwsp/internal/compiler"
@@ -37,7 +39,7 @@ func FuzzCrashConsistency(f *testing.F) {
 		if fail == 0 {
 			fail = 1
 		}
-		res, err := rt.RunWithFailure(fail, 100_000_000)
+		res, err := rt.RunWithFailure(context.Background(), fail, 100_000_000)
 		if err != nil {
 			t.Fatalf("seed %d fail %d: %v", seed, fail, err)
 		}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"lightwsp/internal/compiler"
@@ -40,7 +42,7 @@ func TestRandomProgramsCrashConsistency(t *testing.T) {
 			step = 1
 		}
 		for fail := step; fail < total; fail += step {
-			res, err := rt.RunWithFailure(fail, 50_000_000)
+			res, err := rt.RunWithFailure(context.Background(), fail, 50_000_000)
 			if err != nil {
 				t.Fatalf("seed %d failure at %d: %v", seed, fail, err)
 			}
@@ -143,7 +145,7 @@ func TestManyThreadsCrashConsistency(t *testing.T) {
 		t.Fatalf("clean counter = %d", got)
 	}
 	for _, frac := range []uint64{5, 3, 2} {
-		res, err := rt.RunWithFailure(clean.Stats.Cycles/frac, maxCycles)
+		res, err := rt.RunWithFailure(context.Background(), clean.Stats.Cycles/frac, maxCycles)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +185,7 @@ func testControllers(t *testing.T, numMCs int) {
 			step = 1
 		}
 		for fail := step; fail < clean.Stats.Cycles; fail += step {
-			res, err := rt.RunWithFailure(fail, 50_000_000)
+			res, err := rt.RunWithFailure(context.Background(), fail, 50_000_000)
 			if err != nil {
 				t.Fatalf("seed %d fail %d: %v", seed, fail, err)
 			}

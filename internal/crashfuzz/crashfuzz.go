@@ -26,6 +26,7 @@
 package crashfuzz
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"lightwsp/internal/mem"
 	"lightwsp/internal/stats"
 	"lightwsp/internal/workload"
+	"lightwsp/internal/wsperr"
 )
 
 // maxReplayCycles bounds any single replay segment chain.
@@ -188,17 +190,24 @@ type campaign struct {
 	diverged int
 }
 
-// verdictEntry is the cached record of one schedule proven non-diverging.
+// verdictEntry is the cached record of one schedule proven non-diverging
+// (the experiments.VerdictCodec envelope payload).
 type verdictEntry struct {
-	SchemaVersion int    `json:"schema_version"`
-	Key           string `json:"key"`
-	Fired         int    `json:"fired"`
+	Fired int `json:"fired"`
 }
 
 // Run executes one campaign and returns its manifest. Campaign errors
 // (workload build failures, replays exceeding MaxCycles, unwritable OutDir)
 // are returned as errors; divergences are results, not errors.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx ends, no further schedules
+// are dispatched, in-flight replays run to completion (individual replays are
+// short), and the campaign returns an error wrapping wsperr.ErrCanceled
+// instead of a partial manifest.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	start := time.Now()
 	p := cfg.Profile
 
@@ -235,6 +244,9 @@ func Run(cfg Config) (*Result, error) {
 		maxInteresting = DefaultMaxInteresting
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("crashfuzz: %w: %v", wsperr.ErrCanceled, err)
+	}
 	orc, interesting, err := buildOracle(rt, maxCycles, maxInteresting)
 	if err != nil {
 		return nil, err
@@ -260,10 +272,15 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pool.Do(func() { outcomes[i] = c.resolve(scheds[i]) })
+			if err := pool.DoCtx(ctx, func() { outcomes[i] = c.resolve(scheds[i]) }); err != nil {
+				outcomes[i] = outcome{err: err}
+			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("crashfuzz: campaign %s/%s: %w: %v", p.Suite, p.Name, wsperr.ErrCanceled, err)
+	}
 
 	res := &Result{
 		SchemaVersion:     ReproSchemaVersion,
@@ -327,11 +344,8 @@ func (c *campaign) resolve(sched Schedule) outcome {
 	useCache := c.cfg.Cache != nil && c.cfg.CorruptPM == nil
 	if useCache {
 		var e verdictEntry
-		if c.cfg.Cache.ReadJSON(vhash, &e) {
-			if e.SchemaVersion == ReproSchemaVersion && e.Key == vkey {
-				return outcome{cached: true, fired: e.Fired}
-			}
-			c.cfg.Cache.Remove(vhash)
+		if experiments.VerdictCodec.Load(c.cfg.Cache, vhash, vkey, &e) {
+			return outcome{cached: true, fired: e.Fired}
 		}
 	}
 	rep, err := Replay(c.rt, sched, c.maxCycles, c.cfg.CorruptPM, c.cfg.Faults)
@@ -342,9 +356,7 @@ func (c *campaign) resolve(sched Schedule) outcome {
 		return c.diverge(sched, rep, verr)
 	}
 	if useCache {
-		c.cfg.Cache.WriteJSON(vhash, verdictEntry{
-			SchemaVersion: ReproSchemaVersion, Key: vkey, Fired: rep.Fired,
-		})
+		experiments.VerdictCodec.Store(c.cfg.Cache, vhash, vkey, verdictEntry{Fired: rep.Fired})
 	}
 	return outcome{fired: rep.Fired}
 }
@@ -399,12 +411,12 @@ func (c *campaign) diverge(sched Schedule, rep *ReplayResult, verr error) outcom
 	}
 }
 
-// verdictKey extends the canonical run key with the fuzzing schema version,
+// verdictKey extends the canonical run key with the verdict schema version,
 // the schedule and the fault plan, yielding the cache identity of one
 // verdict.
 func (c *campaign) verdictKey(sched Schedule) (key, hash string) {
 	key = fmt.Sprintf("%s|crashfuzz:v%d|cuts=%v|faults=%s",
-		c.key, ReproSchemaVersion, []uint64(sched), c.cfg.Faults.Key())
+		c.key, experiments.VerdictCodec.Version, []uint64(sched), c.cfg.Faults.Key())
 	sum := sha256.Sum256([]byte(key))
 	return key, hex.EncodeToString(sum[:])
 }

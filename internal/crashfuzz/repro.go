@@ -7,17 +7,20 @@ import (
 
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
+	"lightwsp/internal/experiments"
 	"lightwsp/internal/faults"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/workload"
 )
 
-// ReproSchemaVersion stamps every repro file and every cached verdict. Bump
-// it whenever the replay semantics or the file format change; older repro
-// files are then rejected instead of silently replaying something else.
+// ReproSchemaVersion stamps every repro file; it is the crashfuzz-repro
+// version from the experiments codec table, the one place schema versions
+// live. Bump it there whenever the replay semantics or the file format
+// change; older repro files are then rejected instead of silently replaying
+// something else.
 //
 // v2: repros carry a persist-fabric fault plan, replayed alongside the cuts.
-const ReproSchemaVersion = 2
+var ReproSchemaVersion = experiments.ReproCodec.Version
 
 // Repro is a minimal, self-contained reproducer of one crash-consistency
 // divergence: everything needed to rebuild the exact workload (profiles are

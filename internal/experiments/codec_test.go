@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type codecPayload struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	b := NewBlobCache(t.TempDir())
+	in := codecPayload{N: 7, S: "x"}
+	RunCodec.Store(b, "h1", "key-1", in)
+	var out codecPayload
+	if !RunCodec.Load(b, "h1", "key-1", &out) {
+		t.Fatal("stored entry did not load")
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestCodecMissesNeverError(t *testing.T) {
+	b := NewBlobCache(t.TempDir())
+	var out codecPayload
+	if RunCodec.Load(b, "absent", "k", &out) {
+		t.Fatal("load of absent entry reported a hit")
+	}
+}
+
+// TestCodecMigration proves that every legacy or foreign on-disk format is
+// detected and evicted — never silently mis-read as a current entry. This is
+// the migration contract for the three pre-codec schema versions (flat
+// disk-cache entries, flat verdict entries, run-key version drift).
+func TestCodecMigration(t *testing.T) {
+	cases := []struct {
+		name  string
+		write func(b *BlobCache, hash string)
+	}{
+		{"legacy flat disk entry (pre-envelope v3)", func(b *BlobCache, hash string) {
+			// The old diskEntry layout: schema_version + key + stats, no envelope.
+			b.WriteJSON(hash, map[string]any{
+				"schema_version": 3, "key": "k", "stats": map[string]any{"cycles": 12},
+			})
+		}},
+		{"legacy flat verdict entry (pre-envelope v2)", func(b *BlobCache, hash string) {
+			b.WriteJSON(hash, map[string]any{"schema_version": 2, "key": "k", "fired": 3})
+		}},
+		{"older envelope version", func(b *BlobCache, hash string) {
+			b.WriteJSON(hash, codecEnvelope{
+				Schema: RunCodec.Schema, Version: RunCodec.Version - 1,
+				Key: "k", Payload: json.RawMessage(`{}`),
+			})
+		}},
+		{"foreign schema under the same hash", func(b *BlobCache, hash string) {
+			VerdictCodec.Store(b, hash, "k", codecPayload{N: 1})
+		}},
+		{"wrong key (hash collision)", func(b *BlobCache, hash string) {
+			RunCodec.Store(b, hash, "other-key", codecPayload{N: 1})
+		}},
+		{"undecodable payload", func(b *BlobCache, hash string) {
+			b.WriteJSON(hash, codecEnvelope{
+				Schema: RunCodec.Schema, Version: RunCodec.Version,
+				Key: "k", Payload: json.RawMessage(`"not an object"`),
+			})
+		}},
+		{"truncated file", func(b *BlobCache, hash string) {
+			os.MkdirAll(b.Dir(), 0o755)
+			os.WriteFile(filepath.Join(b.Dir(), hash+".json"), []byte(`{"schema":`), 0o644)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBlobCache(t.TempDir())
+			const hash = "deadbeef"
+			tc.write(b, hash)
+			var out codecPayload
+			if RunCodec.Load(b, hash, "k", &out) {
+				t.Fatal("stale entry loaded as current")
+			}
+			if _, err := os.Stat(filepath.Join(b.Dir(), hash+".json")); !os.IsNotExist(err) {
+				t.Fatal("stale entry not evicted")
+			}
+			// After eviction a rewrite under the same hash works.
+			RunCodec.Store(b, hash, "k", codecPayload{N: 9})
+			if !RunCodec.Load(b, hash, "k", &out) || out.N != 9 {
+				t.Fatal("rewrite after eviction did not load")
+			}
+		})
+	}
+}

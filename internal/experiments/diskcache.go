@@ -10,21 +10,20 @@ import (
 )
 
 // diskCache persists completed machine.Stats blobs so repeated bench/CLI
-// invocations skip finished simulations. Storage is a BlobCache: files named
-// by the SHA-256 content hash of the canonical run key, written atomically.
-// Each entry embeds the schema version and the full key, so a version bump,
-// a truncated file or a (theoretical) hash collision all read back as a miss
+// invocations skip finished simulations. Storage is a BlobCache holding
+// RunCodec envelopes: files named by the SHA-256 content hash of the
+// canonical run key, written atomically. The envelope embeds the schema
+// name, its version and the full key, so a version bump, a truncated file, a
+// foreign artifact or a (theoretical) hash collision all read back as a miss
 // — never as a wrong result. The cache is best-effort: any I/O or decode
 // failure simply degrades to a fresh simulation.
 type diskCache struct {
 	blobs *BlobCache
 }
 
-// diskEntry is the on-disk JSON schema of one cached run.
-type diskEntry struct {
-	SchemaVersion int           `json:"schema_version"`
-	Key           string        `json:"key"`
-	Stats         machine.Stats `json:"stats"`
+// diskPayload is the RunCodec envelope payload of one cached run.
+type diskPayload struct {
+	Stats machine.Stats `json:"stats"`
 	// Manifest records the provenance and metrics of the simulation that
 	// produced this entry (Source stays "fresh" on disk; loads rewrite it).
 	Manifest RunManifest `json:"manifest"`
@@ -35,12 +34,11 @@ func newDiskCache(dir string) *diskCache {
 }
 
 // load returns the cached stats and manifest for the given canonical key,
-// if present and valid. Entries whose schema version or embedded key
-// disagree are stale — the key format changed under them — and are removed.
+// if present and valid. Stale entries — wrong schema, wrong version, wrong
+// key, pre-envelope format — are evicted by the codec.
 func (d *diskCache) load(key, hash string) (*machine.Stats, RunManifest, bool) {
-	var e diskEntry
-	if !d.blobs.ReadJSON(hash, &e) || e.SchemaVersion != keySchemaVersion || e.Key != key {
-		d.blobs.Remove(hash)
+	var e diskPayload
+	if !RunCodec.Load(d.blobs, hash, key, &e) {
 		return nil, RunManifest{}, false
 	}
 	st := e.Stats
@@ -49,17 +47,12 @@ func (d *diskCache) load(key, hash string) (*machine.Stats, RunManifest, bool) {
 
 // store persists one completed run.
 func (d *diskCache) store(key, hash string, st *machine.Stats, man RunManifest) {
-	d.blobs.WriteJSON(hash, diskEntry{
-		SchemaVersion: keySchemaVersion,
-		Key:           key,
-		Stats:         *st,
-		Manifest:      man,
-	})
+	RunCodec.Store(d.blobs, hash, key, diskPayload{Stats: *st, Manifest: man})
 }
 
-// Scrub removes every entry in dir whose schema version is not current —
-// explicit invalidation for operators after a key-version bump. It returns
-// the number of files removed.
+// Scrub removes every entry in dir that no current codec claims — explicit
+// invalidation for operators after a schema-version bump. It returns the
+// number of files removed.
 func Scrub(dir string) (int, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -75,8 +68,8 @@ func Scrub(dir string) (int, error) {
 		if err != nil {
 			continue
 		}
-		var e diskEntry
-		if err := json.Unmarshal(data, &e); err != nil || e.SchemaVersion != keySchemaVersion {
+		var env codecEnvelope
+		if err := json.Unmarshal(data, &env); err != nil || !knownEnvelope(env) {
 			if err := os.Remove(p); err == nil {
 				removed++
 			}

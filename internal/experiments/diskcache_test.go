@@ -102,11 +102,11 @@ func TestDiskCacheInvalidatesOldSchemaVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e diskEntry
+	var e codecEnvelope
 	if err := json.Unmarshal(data, &e); err != nil {
 		t.Fatal(err)
 	}
-	e.SchemaVersion = keySchemaVersion - 1
+	e.Version = RunCodec.Version - 1
 	data, err = json.Marshal(e)
 	if err != nil {
 		t.Fatal(err)
@@ -127,28 +127,30 @@ func TestDiskCacheInvalidatesOldSchemaVersion(t *testing.T) {
 
 func TestScrubRemovesStaleEntries(t *testing.T) {
 	dir := t.TempDir()
-	stale, err := json.Marshal(diskEntry{SchemaVersion: keySchemaVersion - 1, Key: "old"})
-	if err != nil {
-		t.Fatal(err)
+	write := func(name string, v any) {
+		t.Helper()
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := os.WriteFile(filepath.Join(dir, "stale.json"), stale, 0o644); err != nil {
-		t.Fatal(err)
-	}
-	valid, err := json.Marshal(diskEntry{SchemaVersion: keySchemaVersion, Key: "current"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, "valid.json"), valid, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	// One stale-version envelope, one pre-envelope legacy entry, one current
+	// run envelope and one current verdict envelope.
+	write("stale.json", codecEnvelope{Schema: RunCodec.Schema, Version: RunCodec.Version - 1, Key: "old"})
+	write("legacy.json", map[string]any{"schema_version": 2, "key": "older", "stats": map[string]any{}})
+	write("valid.json", codecEnvelope{Schema: RunCodec.Schema, Version: RunCodec.Version, Key: "current"})
+	write("verdict.json", codecEnvelope{Schema: VerdictCodec.Schema, Version: VerdictCodec.Version, Key: "v"})
 	removed, err := Scrub(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if removed != 1 {
-		t.Fatalf("Scrub removed %d entries, want 1", removed)
+	if removed != 2 {
+		t.Fatalf("Scrub removed %d entries, want 2", removed)
 	}
-	if len(cacheFiles(t, dir)) != 1 {
-		t.Fatal("valid entry removed or stale entry kept")
+	if len(cacheFiles(t, dir)) != 2 {
+		t.Fatal("valid entries removed or stale entries kept")
 	}
 }

@@ -11,16 +11,12 @@ import (
 	"lightwsp/internal/workload"
 )
 
-// keySchemaVersion stamps every run key. Bump it whenever the meaning of a
-// cached blob changes — a new simulator counter, a semantics fix, a
-// workload-generation change, a disk-entry schema extension — and every
-// in-memory and on-disk cache entry is invalidated at once, because the
-// version participates in both the canonical key and its content hash.
-//
-// v2: disk entries carry a RunManifest (provenance + metrics snapshot).
-// v3: machine.Config grew the persist-fabric robustness knobs (RetryTimeout,
-// RetryBudget, DegradeDeadline, BrokenDupAcks).
-const keySchemaVersion = 3
+// keySchemaVersion stamps every run key. It is the run-stats schema version
+// from the codec table (codec.go) — bump runSchemaVersion there whenever the
+// meaning of a cached blob changes, and every in-memory and on-disk cache
+// entry is invalidated at once, because the version participates in both the
+// canonical key and its content hash.
+const keySchemaVersion = runSchemaVersion
 
 // runKey canonicalizes the full identity of one simulation: the workload
 // profile, the persistence scheme, the resolved machine configuration

@@ -140,7 +140,7 @@ func TestProgressTagsCachedAndFresh(t *testing.T) {
 
 	collect := func(r *Runner) *[]string {
 		var lines []string
-		r.Progress = func(s string) { lines = append(lines, s) }
+		r.SetProgress(func(s string) { lines = append(lines, s) })
 		return &lines
 	}
 

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"lightwsp/internal/baseline"
@@ -246,7 +248,7 @@ func RecoverySweep(pointsPerApp int) (*RecoverySweepResult, error) {
 		}
 		for i := 1; i <= pointsPerApp; i++ {
 			fail := step * uint64(i)
-			cres, err := rt.RunWithFailure(fail, MaxRunCycles)
+			cres, err := rt.RunWithFailure(context.Background(), fail, MaxRunCycles)
 			if err != nil {
 				return nil, fmt.Errorf("%s at cycle %d: %w", rep.name, fail, err)
 			}

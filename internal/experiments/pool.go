@@ -1,10 +1,17 @@
 package experiments
 
+import (
+	"context"
+	"fmt"
+
+	"lightwsp/internal/wsperr"
+)
+
 // Pool is a bounded worker pool: a counting semaphore that caps how many
 // submitted functions execute at once. It is the concurrency backbone shared
-// by the Runner (simulation fan-out) and the crash-consistency fuzzing
-// campaigns (internal/crashfuzz), so one -j flag governs every kind of
-// parallel work the same way.
+// by the Runner (simulation fan-out), the crash-consistency fuzzing
+// campaigns (internal/crashfuzz) and the serving layer (internal/server), so
+// one -j flag governs every kind of parallel work the same way.
 //
 // A Pool carries no queue of its own: callers bring their goroutines (and
 // their WaitGroup) and Do blocks until a slot frees up. The zero value is
@@ -31,4 +38,19 @@ func (p *Pool) Do(fn func()) {
 	p.sem <- struct{}{}
 	defer func() { <-p.sem }()
 	fn()
+}
+
+// DoCtx runs fn once a slot is free, releasing the slot when fn returns.
+// If ctx ends before a slot frees up, fn never runs and the returned error
+// wraps wsperr.ErrCanceled. fn itself is responsible for observing ctx once
+// running (the Runner passes the same ctx into the simulation loop).
+func (p *Pool) DoCtx(ctx context.Context, fn func()) error {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return fmt.Errorf("pool: %w while waiting for a worker: %v", wsperr.ErrCanceled, ctx.Err())
+	}
+	defer func() { <-p.sem }()
+	fn()
+	return nil
 }

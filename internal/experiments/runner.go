@@ -26,6 +26,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,6 +42,7 @@ import (
 	"lightwsp/internal/metrics"
 	"lightwsp/internal/probe"
 	"lightwsp/internal/workload"
+	"lightwsp/internal/wsperr"
 )
 
 // MaxRunCycles bounds any single simulation.
@@ -80,8 +82,19 @@ type Counters struct {
 // A Runner is safe for concurrent use. Simulations fan out over a worker
 // pool sized by GOMAXPROCS (SetWorkers overrides); two callers requesting
 // the same key share a single in-flight simulation. Configure the Runner
-// (SetWorkers, SetCacheDir, Progress) before the first Run.
+// (SetWorkers, SetCacheDir, SetProgress) before the first Run.
+//
+// A Runner is a light handle over shared state: WithContext returns a new
+// handle bound to a request context that shares every cache, counter and
+// pool slot with the original — the serving layer hands each request a
+// context-scoped view of the one process-wide Runner.
 type Runner struct {
+	s   *runnerState
+	ctx context.Context
+}
+
+// runnerState is the memoization state every Runner handle shares.
+type runnerState struct {
 	mu          sync.Mutex
 	cache       map[string]*machine.Stats
 	inflight    map[string]*inflightRun
@@ -93,55 +106,88 @@ type Runner struct {
 	timelineDir string
 
 	progressMu sync.Mutex
-	// Progress, if non-nil, receives one line per distinct resolved run:
-	// its identity (suite/app/scheme plus the run-key hash), whether it
-	// was freshly simulated or loaded from the disk cache, and its wall
-	// time. Calls are serialized.
-	Progress func(string)
+	progress   func(string)
 }
 
+// inflightRun is one executing simulation plus the callers waiting on it.
+// The run executes under its own detached context; cancel fires only when
+// the last waiter abandons it, so one impatient client never kills a
+// simulation other clients still want.
 type inflightRun struct {
-	done chan struct{}
-	st   *machine.Stats
-	err  error
+	done   chan struct{}
+	st     *machine.Stats
+	err    error
+	cancel context.CancelFunc
+	// waiters is guarded by runnerState.mu.
+	waiters int
 }
 
 // NewRunner returns an empty runner with a GOMAXPROCS-sized worker pool.
 // If LIGHTWSP_CACHE_DIR is set, the persistent disk cache is enabled there.
 func NewRunner() *Runner {
 	r := &Runner{
-		cache:     map[string]*machine.Stats{},
-		inflight:  map[string]*inflightRun{},
-		workers:   runtime.GOMAXPROCS(0),
-		manifests: map[string]RunManifest{},
+		s: &runnerState{
+			cache:     map[string]*machine.Stats{},
+			inflight:  map[string]*inflightRun{},
+			workers:   runtime.GOMAXPROCS(0),
+			manifests: map[string]RunManifest{},
+		},
+		ctx: context.Background(),
 	}
 	if dir := os.Getenv(CacheDirEnv); dir != "" {
-		r.disk = newDiskCache(dir)
+		r.s.disk = newDiskCache(dir)
 	}
 	return r
 }
 
+// WithContext returns a Runner handle bound to ctx, sharing all memoization
+// state, counters and pool capacity with r. Runs started through the handle
+// honor ctx at cycle-batch granularity; a run several handles wait on is
+// canceled only when every waiter's context has ended.
+func (r *Runner) WithContext(ctx context.Context) *Runner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Runner{s: r.s, ctx: ctx}
+}
+
 // SetWorkers sets the worker-pool size (minimum 1). Call before Run.
 func (r *Runner) SetWorkers(n int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
 	if n < 1 {
 		n = 1
 	}
-	r.workers = n
-	r.workerPool = nil
+	r.s.workers = n
+	r.s.workerPool = nil
+}
+
+// SetPool makes the Runner fan simulations out over a caller-owned pool, so
+// one semaphore can govern the Runner and other workloads (crash-fuzzing
+// campaigns, streaming runs) together. Call before Run.
+func (r *Runner) SetPool(p *Pool) {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	r.s.workerPool = p
+}
+
+// Pool returns the Runner's worker pool, building it on first use.
+func (r *Runner) Pool() *Pool {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.s.pool()
 }
 
 // SetCacheDir enables the persistent disk cache under dir, overriding
 // LIGHTWSP_CACHE_DIR; an empty dir disables it. Call before Run.
 func (r *Runner) SetCacheDir(dir string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
 	if dir == "" {
-		r.disk = nil
+		r.s.disk = nil
 		return
 	}
-	r.disk = newDiskCache(dir)
+	r.s.disk = newDiskCache(dir)
 }
 
 // SetTimelineDir enables per-run Chrome trace-event timelines: every fresh
@@ -149,27 +195,37 @@ func (r *Runner) SetCacheDir(dir string) {
 // Run. Timelines are a fresh-simulation artifact — disk-cache hits skip the
 // simulation and therefore produce none.
 func (r *Runner) SetTimelineDir(dir string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.timelineDir = dir
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	r.s.timelineDir = dir
+}
+
+// SetProgress installs a progress callback receiving one line per distinct
+// resolved run: its identity (suite/app/scheme plus the run-key hash),
+// whether it was freshly simulated or loaded from the disk cache, and its
+// wall time. Calls are serialized. Pass nil to disable.
+func (r *Runner) SetProgress(f func(string)) {
+	r.s.progressMu.Lock()
+	defer r.s.progressMu.Unlock()
+	r.s.progress = f
 }
 
 // Counters returns a snapshot of the runner's cache counters.
 func (r *Runner) Counters() Counters {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	return r.s.counters
 }
 
 // Manifests returns one provenance record per distinct resolved run, in a
 // deterministic order (suite, app, scheme, key hash).
 func (r *Runner) Manifests() []RunManifest {
-	r.mu.Lock()
-	out := make([]RunManifest, 0, len(r.manifests))
-	for _, m := range r.manifests {
+	r.s.mu.Lock()
+	out := make([]RunManifest, 0, len(r.s.manifests))
+	for _, m := range r.s.manifests {
 		out = append(out, m)
 	}
-	r.mu.Unlock()
+	r.s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Suite != b.Suite {
@@ -186,19 +242,19 @@ func (r *Runner) Manifests() []RunManifest {
 	return out
 }
 
-func (r *Runner) noteManifest(key string, m RunManifest) {
-	r.mu.Lock()
-	r.manifests[key] = m
-	r.mu.Unlock()
+func (s *runnerState) noteManifest(key string, m RunManifest) {
+	s.mu.Lock()
+	s.manifests[key] = m
+	s.mu.Unlock()
 }
 
 // pool returns the worker pool, building it on first use; the caller must
-// hold r.mu.
-func (r *Runner) pool() *Pool {
-	if r.workerPool == nil {
-		r.workerPool = NewPool(r.workers)
+// hold s.mu.
+func (s *runnerState) pool() *Pool {
+	if s.workerPool == nil {
+		s.workerPool = NewPool(s.workers)
 	}
-	return r.workerPool
+	return s.workerPool
 }
 
 // Mutator tweaks a configuration before a run (sweep parameter).
@@ -287,71 +343,104 @@ func (r *Runner) Prefetch(specs []RunSpec) error {
 // schemes compile the program first; ccfg.StoreThreshold zero means half
 // the WPQ size (§IV-A). The returned Stats are shared and must be treated
 // as read-only.
+//
+// Run honors the handle's context (WithContext): while waiting — for a pool
+// slot, or on another caller's in-flight simulation of the same key — a
+// context end returns an error wrapping wsperr.ErrCanceled immediately; the
+// simulation itself is canceled at cycle-batch granularity once no caller is
+// waiting on it. Canceled runs are never cached.
 func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Config, muts ...Mutator) (*machine.Stats, error) {
 	cfg, ccfg := resolve(p, ccfg, muts)
 	key := runKey(p, sch, cfg, ccfg)
+	s := r.s
 
-	r.mu.Lock()
-	if st, ok := r.cache[key]; ok {
-		r.counters.MemHits++
-		r.mu.Unlock()
+	s.mu.Lock()
+	if st, ok := s.cache[key]; ok {
+		s.counters.MemHits++
+		s.mu.Unlock()
 		return st, nil
 	}
-	if fl, ok := r.inflight[key]; ok {
-		r.counters.MemHits++
-		r.mu.Unlock()
-		<-fl.done
-		return fl.st, fl.err
+	fl, joined := s.inflight[key]
+	if joined {
+		s.counters.MemHits++
+		fl.waiters++
+		s.mu.Unlock()
+	} else {
+		// First caller for this key: start the run under its own detached
+		// context so it outlives any single waiter, then wait like everyone
+		// else. cancel fires when the last waiter gives up.
+		execCtx, cancel := context.WithCancel(context.Background())
+		fl = &inflightRun{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		s.inflight[key] = fl
+		pool := s.pool()
+		s.mu.Unlock()
+		go s.runInflight(execCtx, pool, fl, key, p, sch, cfg, ccfg)
 	}
-	fl := &inflightRun{done: make(chan struct{})}
-	r.inflight[key] = fl
-	pool := r.pool()
-	r.mu.Unlock()
 
+	select {
+	case <-fl.done:
+		return fl.st, fl.err
+	case <-r.ctx.Done():
+		s.mu.Lock()
+		fl.waiters--
+		abandoned := fl.waiters == 0
+		s.mu.Unlock()
+		if abandoned {
+			fl.cancel()
+		}
+		return nil, fmt.Errorf("experiments: %s/%s under %s: %w: %v",
+			p.Suite, p.Name, sch.Name, wsperr.ErrCanceled, r.ctx.Err())
+	}
+}
+
+// runInflight resolves one distinct run on the worker pool and publishes the
+// outcome to every waiter.
+func (s *runnerState) runInflight(ctx context.Context, pool *Pool, fl *inflightRun, key string, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) {
 	var st *machine.Stats
 	var fromDisk bool
-	var err error
-	pool.Do(func() {
-		st, fromDisk, err = r.execute(key, p, sch, cfg, ccfg)
+	err := pool.DoCtx(ctx, func() {
+		st, fromDisk, fl.err = s.execute(ctx, key, p, sch, cfg, ccfg)
 	})
-
-	r.mu.Lock()
-	delete(r.inflight, key)
-	if err == nil {
-		r.cache[key] = st
+	if err != nil {
+		fl.err = err // canceled while waiting for a worker slot
+	}
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if fl.err == nil {
+		s.cache[key] = st
 		if fromDisk {
-			r.counters.DiskHits++
+			s.counters.DiskHits++
 		} else {
-			r.counters.Fresh++
+			s.counters.Fresh++
 		}
 	}
-	r.mu.Unlock()
-	fl.st, fl.err = st, err
+	s.mu.Unlock()
+	fl.st = st
 	close(fl.done)
-	return st, err
+	fl.cancel()
 }
 
 // execute resolves one distinct run: disk-cache load if enabled, else a
 // full simulation (persisted to the disk cache afterwards). Either way it
 // records a RunManifest carrying the run's provenance and metrics.
-func (r *Runner) execute(key string, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, bool, error) {
+func (s *runnerState) execute(ctx context.Context, key string, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, bool, error) {
 	hash := keyHash(key)
 	start := time.Now()
-	if r.disk != nil {
-		if st, man, ok := r.disk.load(key, hash); ok {
+	if s.disk != nil {
+		if st, man, ok := s.disk.load(key, hash); ok {
 			man.Source = "cached"
 			man.WallSeconds = time.Since(start).Seconds()
-			r.noteManifest(key, man)
-			r.progress(p, sch, hash, "cached", time.Since(start), st)
+			s.noteManifest(key, man)
+			s.progressLine(p, sch, hash, "cached", time.Since(start), st)
 			return st, true, nil
 		}
 	}
-	st, snap, err := simulate(p, sch, cfg, ccfg, r.timelinePath(hash))
+	st, snap, err := simulate(ctx, p, sch, cfg, ccfg, s.timelinePath(hash))
 	if err != nil {
 		return nil, false, err
 	}
 	man := RunManifest{
-		SchemaVersion: keySchemaVersion,
+		SchemaVersion: RunCodec.Version,
 		KeyHash:       hash,
 		Suite:         string(p.Suite),
 		App:           p.Name,
@@ -362,37 +451,38 @@ func (r *Runner) execute(key string, p workload.Profile, sch machine.Scheme, cfg
 		GitDescribe:   gitDescribe(),
 		Metrics:       snap,
 	}
-	if r.disk != nil {
-		r.disk.store(key, hash, st, man)
+	if s.disk != nil {
+		s.disk.store(key, hash, st, man)
 	}
-	r.noteManifest(key, man)
-	r.progress(p, sch, hash, "fresh", time.Since(start), st)
+	s.noteManifest(key, man)
+	s.progressLine(p, sch, hash, "fresh", time.Since(start), st)
 	return st, false, nil
 }
 
 // timelinePath returns where a fresh run's Chrome trace goes, or "".
-func (r *Runner) timelinePath(hash string) string {
-	if r.timelineDir == "" {
+func (s *runnerState) timelinePath(hash string) string {
+	if s.timelineDir == "" {
 		return ""
 	}
-	return filepath.Join(r.timelineDir, hash[:12]+".trace.json")
+	return filepath.Join(s.timelineDir, hash[:12]+".trace.json")
 }
 
-func (r *Runner) progress(p workload.Profile, sch machine.Scheme, hash, src string, d time.Duration, st *machine.Stats) {
-	if r.Progress == nil {
+func (s *runnerState) progressLine(p workload.Profile, sch machine.Scheme, hash, src string, d time.Duration, st *machine.Stats) {
+	s.progressMu.Lock()
+	defer s.progressMu.Unlock()
+	if s.progress == nil {
 		return
 	}
-	r.progressMu.Lock()
-	defer r.progressMu.Unlock()
-	r.Progress(fmt.Sprintf("%-6s %-8s %-12s %-12s %8.2fs %12d cycles  %s",
+	s.progress(fmt.Sprintf("%-6s %-8s %-12s %-12s %8.2fs %12d cycles  %s",
 		src, p.Suite, p.Name, sch.Name, d.Seconds(), st.Cycles, hash[:12]))
 }
 
 // simulate performs one simulation with fully resolved configurations. A
 // metrics sink rides along on every run (its snapshot feeds the manifest);
 // a non-empty timelinePath additionally buffers the full event stream and
-// writes it as Chrome trace-event JSON.
-func simulate(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config, timelinePath string) (*machine.Stats, metrics.Snapshot, error) {
+// writes it as Chrome trace-event JSON. Cancellation is honored at
+// cycle-batch granularity; run failures wrap the wsperr sentinels.
+func simulate(ctx context.Context, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config, timelinePath string) (*machine.Stats, metrics.Snapshot, error) {
 	prog, err := workload.Build(p)
 	if err != nil {
 		return nil, metrics.Snapshot{}, err
@@ -416,8 +506,8 @@ func simulate(p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg c
 	} else {
 		sys.SetProbeSink(m)
 	}
-	if !sys.Run(MaxRunCycles) {
-		return nil, metrics.Snapshot{}, fmt.Errorf("%s/%s under %s exceeded %d cycles", p.Suite, p.Name, sch.Name, uint64(MaxRunCycles))
+	if err := sys.RunContext(ctx, MaxRunCycles); err != nil {
+		return nil, metrics.Snapshot{}, fmt.Errorf("%s/%s under %s: %w", p.Suite, p.Name, sch.Name, err)
 	}
 	if tl != nil {
 		if err := os.MkdirAll(filepath.Dir(timelinePath), 0o755); err != nil {

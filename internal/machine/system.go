@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"lightwsp/internal/faults"
@@ -11,6 +12,7 @@ import (
 	"lightwsp/internal/probe"
 	"lightwsp/internal/trace"
 	"lightwsp/internal/wpq"
+	"lightwsp/internal/wsperr"
 )
 
 // mc is one memory controller: its DRAM-cache slice and its WPQ.
@@ -516,30 +518,91 @@ func (s *System) sink(m int, e persistpath.Entry) bool {
 // Run advances the machine until Done or maxCycles, returning whether the
 // run completed.
 func (s *System) Run(maxCycles uint64) bool {
+	return s.RunContext(context.Background(), maxCycles) == nil
+}
+
+// ctxCheckBatch is how many cycles RunContext and RunUntilContext advance
+// between context polls. Cancellation is therefore honored at cycle-batch
+// granularity: cheap enough to be invisible on the hot loop, prompt enough
+// (a batch simulates in microseconds) for request deadlines.
+const ctxCheckBatch = 4096
+
+// RunContext advances the machine until Done, the cycle budget, or ctx
+// cancellation, whichever comes first. It returns nil when the run completed,
+// an error wrapping wsperr.ErrCanceled when the context ended first, and an
+// error wrapping wsperr.ErrWPQOverflow (a controller was wedged in the
+// deadlock-escape state when the budget ran out) or wsperr.ErrCyclesExceeded
+// otherwise. Context cancellation is checked every ctxCheckBatch cycles.
+func (s *System) RunContext(ctx context.Context, maxCycles uint64) error {
+	next := s.cycle // poll ctx before the first tick, so an expired deadline never runs
 	for !s.Done() {
 		if s.cycle >= maxCycles {
 			s.Stats.Cycles = s.cycle
-			return false
+			return s.budgetErr(maxCycles)
+		}
+		if s.cycle >= next {
+			if err := ctx.Err(); err != nil {
+				s.Stats.Cycles = s.cycle
+				return fmt.Errorf("machine: %w at cycle %d: %v", wsperr.ErrCanceled, s.cycle, err)
+			}
+			next = s.cycle + ctxCheckBatch
 		}
 		s.Tick()
 	}
 	s.Stats.Cycles = s.cycle
 	s.finalizeStats()
-	return true
+	return nil
+}
+
+// budgetErr classifies a blown cycle budget: a controller stuck in the
+// overflow-escape state means the persist fabric wedged, not the program.
+func (s *System) budgetErr(maxCycles uint64) error {
+	if s.AnyWPQOverflow() {
+		return fmt.Errorf("machine: %w after %d cycles", wsperr.ErrWPQOverflow, maxCycles)
+	}
+	return fmt.Errorf("machine: %w (%d cycles)", wsperr.ErrCyclesExceeded, maxCycles)
+}
+
+// AnyWPQOverflow reports whether any controller is currently in the §IV-D
+// deadlock-escape overflow state.
+func (s *System) AnyWPQOverflow() bool {
+	for _, m := range s.mcs {
+		if m.q.InOverflow() {
+			return true
+		}
+	}
+	return false
 }
 
 // RunUntil advances the machine to the given cycle (or completion),
 // returning whether it is Done.
 func (s *System) RunUntil(cycle uint64) bool {
+	done, _ := s.RunUntilContext(context.Background(), cycle)
+	return done
+}
+
+// RunUntilContext advances the machine to the given cycle, completion, or
+// ctx cancellation. It returns (true, nil) when the machine is Done,
+// (false, nil) when the target cycle was reached first, and (false, err
+// wrapping wsperr.ErrCanceled) when the context ended first.
+func (s *System) RunUntilContext(ctx context.Context, cycle uint64) (bool, error) {
+	next := s.cycle
 	for !s.Done() && s.cycle < cycle {
+		if s.cycle >= next {
+			if err := ctx.Err(); err != nil {
+				s.Stats.Cycles = s.cycle
+				return false, fmt.Errorf("machine: %w at cycle %d: %v", wsperr.ErrCanceled, s.cycle, err)
+			}
+			next = s.cycle + ctxCheckBatch
+		}
 		s.Tick()
 	}
 	s.Stats.Cycles = s.cycle
 	if s.Done() {
 		s.finalizeStats()
-		return true
+		return true, nil
 	}
-	return false
+	return false, nil
 }
 
 func (s *System) finalizeStats() {

@@ -1,0 +1,174 @@
+// Package server exposes the simulation harness as a long-running HTTP/JSON
+// daemon: one process-wide experiments.Runner (memo table, disk cache,
+// worker pool) shared by every request, with bounded-queue admission
+// control, per-request deadlines that propagate into the simulation loop,
+// NDJSON streaming of protocol events, and graceful drain on shutdown.
+//
+// API surface (all request/response bodies are JSON):
+//
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /stats              cache counters + admission statistics
+//	GET  /v1/experiments     registry listing (name + description)
+//	POST /v1/compile         static compilation statistics for a workload
+//	POST /v1/run             one cached simulation run
+//	POST /v1/run/stream      one fresh run, streaming NDJSON events
+//	POST /v1/run-with-failure  power-cut + recovery round trip
+//	POST /v1/crashfuzz       a crash-consistency fuzzing campaign
+//	POST /v1/experiment      a full registry experiment (fig7, tab2, ...)
+//
+// Admission: at most Workers+QueueDepth requests are admitted at once;
+// beyond that the server answers 429 with Retry-After. During drain new
+// work gets 503 while admitted requests run to completion. Error mapping:
+// a request deadline that fires mid-simulation is 504; simulation-budget
+// failures (WPQ overflow, cycle budget) are 422; unrecoverable crash
+// images are 500; unknown workloads are 404 and unknown schemes 400.
+package server
+
+import (
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/crashfuzz"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/metrics"
+)
+
+// RunRequest names one simulation: a workload profile, a persistence scheme
+// and an optional per-request deadline.
+type RunRequest struct {
+	// Suite and App select the workload profile (case-insensitive), e.g.
+	// {"suite":"cpu2006","app":"hmmer"}.
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// Scheme is the persistence scheme name (lightwsp, baseline, capri,
+	// ppa, cwsp, psp-ideal, naive-sfence); empty means lightwsp.
+	Scheme string `json:"scheme,omitempty"`
+	// TimeoutMS bounds this request in milliseconds (0: the server
+	// default). Expiry cancels the simulation at cycle-batch granularity
+	// and answers 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the deterministic result of a run: identical requests
+// produce byte-identical responses whether the run was fresh, disk-cached
+// or joined onto another client's in-flight simulation.
+type RunResponse struct {
+	Suite  string `json:"suite"`
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+	// KeyHash is the canonical run-key hash identifying the simulation in
+	// caches and manifests.
+	KeyHash string        `json:"key_hash"`
+	Stats   machine.Stats `json:"stats"`
+}
+
+// CompileRequest asks for the region compiler's static statistics.
+type CompileRequest struct {
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// StoreThreshold overrides the §IV-A default (half the WPQ size).
+	StoreThreshold int `json:"store_threshold,omitempty"`
+}
+
+// CompileResponse reports the resolved configuration and the compiler's
+// static statistics.
+type CompileResponse struct {
+	Suite          string         `json:"suite"`
+	App            string         `json:"app"`
+	StoreThreshold int            `json:"store_threshold"`
+	Stats          compiler.Stats `json:"stats"`
+}
+
+// FailureRequest runs a workload under LightWSP, cuts power at FailCycle,
+// recovers and runs the recovered machine to completion.
+type FailureRequest struct {
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// FailCycle is the power-cut cycle; if the program finishes first no
+	// failure is injected.
+	FailCycle uint64 `json:"fail_cycle"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// FailureResponse reports one crash/recover round trip.
+type FailureResponse struct {
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// Failed is false when execution completed before the injection point.
+	Failed bool `json:"failed"`
+	// Discarded counts WPQ entries of unpersisted regions dropped by the
+	// §IV-F drain.
+	Discarded int `json:"discarded"`
+	// Cycles is the recovered run's final cycle count.
+	Cycles uint64 `json:"cycles"`
+	// Consistent reports whether the final persisted image matches the
+	// architectural state over the user address range.
+	Consistent bool `json:"consistent"`
+}
+
+// CrashfuzzRequest runs one crash-consistency fuzzing campaign.
+type CrashfuzzRequest struct {
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// Cuts is successive power failures per schedule (minimum 1).
+	Cuts int `json:"cuts,omitempty"`
+	// Seed drives sampled-mode cycle selection (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Threshold and Points tune the schedule planner (0: package defaults).
+	Threshold uint64 `json:"threshold,omitempty"`
+	Points    int    `json:"points,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// CrashfuzzResponse wraps the campaign result.
+type CrashfuzzResponse struct {
+	Result *crashfuzz.Result `json:"result"`
+}
+
+// ExperimentRequest runs one full registry experiment by name.
+type ExperimentRequest struct {
+	Name      string `json:"name"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ExperimentResponse carries the experiment's rendered table or figure.
+type ExperimentResponse struct {
+	Name string `json:"name"`
+	// Text is the driver's rendered output, exactly as lightwsp-bench
+	// prints it.
+	Text        string  `json:"text"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// ExperimentInfo is one /v1/experiments listing entry.
+type ExperimentInfo struct {
+	Name string `json:"name"`
+	Desc string `json:"desc"`
+}
+
+// StatsResponse is the /stats snapshot: the shared runner's cache counters
+// plus the admission gate's request accounting.
+type StatsResponse struct {
+	// FreshRuns/DiskCacheHits/MemCacheHits are the process-wide runner
+	// counters (see experiments.Counters).
+	FreshRuns     int `json:"fresh_runs"`
+	DiskCacheHits int `json:"disk_cache_hits"`
+	MemCacheHits  int `json:"mem_cache_hits"`
+	// Workers and QueueDepth describe the admission gate: at most
+	// Workers+QueueDepth requests are in flight at once.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	// Admitted/Completed count requests past the gate; RejectedBusy is
+	// 429s, RejectedDraining 503s.
+	Admitted         int64 `json:"admitted"`
+	Completed        int64 `json:"completed"`
+	RejectedBusy     int64 `json:"rejected_busy"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	// Draining is true once graceful shutdown began.
+	Draining bool `json:"draining"`
+	// Metrics aggregates every resolved run's probe metrics.
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,364 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/core"
+	"lightwsp/internal/crashfuzz"
+	"lightwsp/internal/experiments"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/recovery"
+	"lightwsp/internal/workload"
+)
+
+// routes installs the API surface on the server's mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/run/stream", s.handleRunStream)
+	s.mux.HandleFunc("POST /v1/run-with-failure", s.handleRunWithFailure)
+	s.mux.HandleFunc("POST /v1/crashfuzz", s.handleCrashfuzz)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+}
+
+// handleHealthz is the liveness probe: 200 while serving, 503 once the
+// drain began (load balancers stop routing here before shutdown).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleStats reports the shared runner's cache counters and the admission
+// gate's request accounting.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.RLock()
+	draining := s.draining
+	s.drainMu.RUnlock()
+	c := s.runner.Counters()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		FreshRuns:        c.Fresh,
+		DiskCacheHits:    c.DiskHits,
+		MemCacheHits:     c.MemHits,
+		Workers:          s.cfg.Workers,
+		QueueDepth:       s.cfg.QueueDepth,
+		Admitted:         s.admitted.Load(),
+		Completed:        s.completed.Load(),
+		RejectedBusy:     s.rejectedBusy.Load(),
+		RejectedDraining: s.rejectedDraining.Load(),
+		Draining:         draining,
+		Metrics:          experiments.AggregateMetrics(s.runner.Manifests()),
+	})
+}
+
+// handleExperiments lists every runnable experiment: the registry plus the
+// crashfuzz campaign this package hosts (crashfuzz imports experiments, so
+// its entry cannot live in the registry).
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	var out []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		out = append(out, ExperimentInfo{Name: e.Name, Desc: e.Desc})
+	}
+	out = append(out, ExperimentInfo{Name: "crashfuzz",
+		Desc: "exhaustive crash-consistency smoke campaigns"})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookupProfile resolves a workload or writes the 404.
+func lookupProfile(w http.ResponseWriter, suite, app string) (workload.Profile, bool) {
+	p, ok := workload.Find(suite, app)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("unknown workload %s/%s", suite, app)})
+	}
+	return p, ok
+}
+
+// lookupScheme resolves a scheme name (empty: lightwsp) or writes the 400.
+func lookupScheme(w http.ResponseWriter, name string) (machine.Scheme, bool) {
+	if name == "" {
+		name = "lightwsp"
+	}
+	sch, ok := experiments.SchemeByName(name)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("unknown scheme %q", name)})
+	}
+	return sch, ok
+}
+
+// handleRun resolves one simulation through the shared Runner: concurrent
+// requests for the same key join a single in-flight execution, and the
+// response is byte-identical however the result was obtained.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req RunRequest
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	p, ok := lookupProfile(w, req.Suite, req.App)
+	if !ok {
+		return
+	}
+	sch, ok := lookupScheme(w, req.Scheme)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	st, err := s.runner.WithContext(ctx).Run(p, sch, compiler.Config{})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
+	_, hash := experiments.CanonicalRunKey(p, sch, cfg, ccfg)
+	writeJSON(w, http.StatusOK, RunResponse{
+		Suite:   string(p.Suite),
+		App:     p.Name,
+		Scheme:  sch.Name,
+		KeyHash: hash,
+		Stats:   *st,
+	})
+}
+
+// handleCompile reports static compilation statistics without running
+// anything (cheap; still admitted so drain accounting covers it).
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req CompileRequest
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	p, ok := lookupProfile(w, req.Suite, req.App)
+	if !ok {
+		return
+	}
+	ccfg := compiler.Config{StoreThreshold: req.StoreThreshold}
+	_, ccfg = experiments.ResolveConfigs(p, ccfg)
+	prog, err := workload.Build(p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	res, err := compiler.Compile(prog, ccfg)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, CompileResponse{
+		Suite:          string(p.Suite),
+		App:            p.Name,
+		StoreThreshold: ccfg.StoreThreshold,
+		Stats:          res.Stats,
+	})
+}
+
+// handleRunWithFailure executes a power-cut + recovery round trip under
+// LightWSP and verifies the recovered persistent image against the
+// architectural state, exactly as the CLI and the fuzzing oracle do. The
+// simulation runs on the shared worker pool so -j bounds it with
+// everything else.
+func (s *Server) handleRunWithFailure(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req FailureRequest
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	p, ok := lookupProfile(w, req.Suite, req.App)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	prog, err := workload.Build(p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
+	rt, err := core.NewRuntimeFor(prog, ccfg, cfg, core.Scheme(), nil)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	var res *core.CrashResult
+	if perr := s.pool.DoCtx(ctx, func() {
+		res, err = rt.RunWithFailure(ctx, req.FailCycle, s.cfg.MaxRunCycles)
+	}); perr != nil {
+		writeErr(w, perr)
+		return
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rec := res.Recovered
+	writeJSON(w, http.StatusOK, FailureResponse{
+		Suite:      string(p.Suite),
+		App:        p.Name,
+		Failed:     res.Failed,
+		Discarded:  res.Report.Discarded,
+		Cycles:     rec.Stats.Cycles,
+		Consistent: rec.PM().EqualRange(rec.Arch(), 0, recovery.UserRangeEnd),
+	})
+}
+
+// handleCrashfuzz runs one crash-consistency fuzzing campaign on the shared
+// pool, memoizing passing verdicts in the shared blob cache.
+func (s *Server) handleCrashfuzz(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req CrashfuzzRequest
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	p, ok := lookupProfile(w, req.Suite, req.App)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	res, err := crashfuzz.RunContext(ctx, crashfuzz.Config{
+		Profile:             p,
+		ExhaustiveThreshold: req.Threshold,
+		MaxInjections:       req.Points,
+		Cuts:                req.Cuts,
+		Seed:                seed,
+		MaxCycles:           s.cfg.MaxRunCycles,
+		Pool:                s.pool,
+		Cache:               s.blobs,
+		Progress:            s.cfg.Progress,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CrashfuzzResponse{Result: res})
+}
+
+// handleExperiment runs one full registry experiment through a
+// context-bound view of the shared Runner, so its grid lands in the same
+// caches every other request uses.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req ExperimentRequest
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	run, ok := s.experimentByName(ctx, req.Name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("unknown experiment %q", req.Name)})
+		return
+	}
+	start := time.Now()
+	res, err := run()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExperimentResponse{
+		Name:        req.Name,
+		Text:        res.String(),
+		WallSeconds: time.Since(start).Seconds(),
+	})
+}
+
+// experimentByName resolves a runnable experiment: a registry entry bound
+// to the shared Runner, or the crashfuzz smoke campaign hosted here.
+func (s *Server) experimentByName(ctx context.Context, name string) (func() (fmt.Stringer, error), bool) {
+	if e, ok := experiments.ExperimentByName(name); ok {
+		r := s.runner.WithContext(ctx)
+		return func() (fmt.Stringer, error) { return e.Run(r) }, true
+	}
+	if name == "crashfuzz" {
+		return func() (fmt.Stringer, error) { return s.crashfuzzSmoke(ctx) }, true
+	}
+	return nil, false
+}
+
+// crashfuzzSmoke mirrors lightwsp-bench's crashfuzz experiment: exhaustive
+// one- and two-cut campaigns over the miniature fuzz profiles, any
+// divergence an error.
+func (s *Server) crashfuzzSmoke(ctx context.Context) (fmt.Stringer, error) {
+	var out crashfuzzResults
+	for _, p := range workload.FuzzSmokeProfiles() {
+		for cuts := 1; cuts <= 2; cuts++ {
+			res, err := crashfuzz.RunContext(ctx, crashfuzz.Config{
+				Profile: p, Cuts: cuts, Seed: 1,
+				MaxCycles: s.cfg.MaxRunCycles,
+				Pool:      s.pool, Cache: s.blobs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Divergences > 0 {
+				return nil, fmt.Errorf("crashfuzz: %s/%s (%d cuts): %d divergence(s)",
+					p.Suite, p.Name, cuts, res.Divergences)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// crashfuzzResults renders a batch of campaigns one per line.
+type crashfuzzResults []*crashfuzz.Result
+
+func (rs crashfuzzResults) String() string {
+	s := ""
+	for i, r := range rs {
+		if i > 0 {
+			s += "\n"
+		}
+		s += r.String()
+	}
+	return s
+}

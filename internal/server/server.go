@@ -1,0 +1,242 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lightwsp/internal/experiments"
+	"lightwsp/internal/wsperr"
+)
+
+// Config tunes a Server. The zero value is usable: GOMAXPROCS workers, a
+// queue twice that deep, no disk cache, no default request deadline.
+type Config struct {
+	// Workers sizes the shared simulation worker pool (minimum 1;
+	// default GOMAXPROCS). One pool governs every kind of work the server
+	// does — cached runs, streaming runs, failure injection, fuzzing.
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond the Workers executing ones (default 2×Workers). Requests
+	// beyond Workers+QueueDepth are answered 429 with Retry-After.
+	QueueDepth int
+	// CacheDir roots the persistent result/verdict cache; empty disables.
+	CacheDir string
+	// RequestTimeout bounds every request without its own timeout_ms
+	// (zero: unbounded).
+	RequestTimeout time.Duration
+	// MaxRunCycles bounds any single simulation (zero:
+	// experiments.MaxRunCycles).
+	MaxRunCycles uint64
+	// Progress, when non-nil, receives the runner's per-run progress lines.
+	Progress func(string)
+}
+
+// Server is the HTTP serving layer over one process-wide Runner: every
+// request shares its memo table, disk cache and worker pool, so concurrent
+// clients asking for the same simulation share a single execution.
+//
+// Construct with New, expose via Handler, and retire with Drain. A Server
+// is safe for concurrent use.
+type Server struct {
+	cfg    Config
+	runner *experiments.Runner
+	pool   *experiments.Pool
+	blobs  *experiments.BlobCache
+	mux    *http.ServeMux
+
+	// sem is the admission gate: Workers+QueueDepth slots. Admission is
+	// non-blocking — a full gate is 429, not a wait — so saturation is
+	// visible to clients instead of an unbounded queue.
+	sem chan struct{}
+
+	// drainMu guards draining against racing admissions: admit holds the
+	// read lock while it checks the flag and registers with inflight, so
+	// once Drain flips the flag under the write lock no new request can
+	// slip into the WaitGroup.
+	drainMu  sync.RWMutex
+	draining bool
+	inflight sync.WaitGroup
+
+	admitted         atomic.Int64
+	completed        atomic.Int64
+	rejectedBusy     atomic.Int64
+	rejectedDraining atomic.Int64
+
+	// hookAdmitted, when non-nil, runs after a request passes admission
+	// and before its handler body (test instrumentation).
+	hookAdmitted func(*http.Request)
+}
+
+// New builds a Server over a fresh process-wide Runner.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.MaxRunCycles == 0 {
+		cfg.MaxRunCycles = experiments.MaxRunCycles
+	}
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+	}
+	s.runner = experiments.NewRunner()
+	s.runner.SetWorkers(cfg.Workers)
+	s.runner.SetCacheDir(cfg.CacheDir)
+	s.runner.SetProgress(cfg.Progress)
+	s.pool = s.runner.Pool()
+	if cfg.CacheDir != "" {
+		s.blobs = experiments.NewBlobCache(cfg.CacheDir)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully retires the server: new requests are refused with 503,
+// admitted ones run to completion (or until ctx ends), and the runner's
+// provenance manifests are flushed alongside the disk cache. Drain returns
+// ctx.Err() if in-flight work outlives the context.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with work in flight: %w", ctx.Err())
+	}
+	return s.flush()
+}
+
+// flush persists the runner's provenance manifests next to the disk cache
+// so a restarted server (or an operator) can audit what this process
+// resolved. A server without a cache directory has nothing to flush.
+func (s *Server) flush() error {
+	if s.cfg.CacheDir == "" {
+		return nil
+	}
+	mans := s.runner.Manifests()
+	data, err := json.MarshalIndent(mans, "", "\t")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.cfg.CacheDir, "serve-manifest.json")
+	if err := os.MkdirAll(s.cfg.CacheDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// admit passes a request through the admission gate. On success it returns
+// a release func the handler must defer; otherwise it has already written
+// the 429/503 response and returns ok=false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		s.rejectedDraining.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "server is draining; no new work accepted"})
+		return nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.drainMu.RUnlock()
+		s.rejectedBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests,
+			errorResponse{Error: "server saturated; retry later"})
+		return nil, false
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	s.admitted.Add(1)
+	if s.hookAdmitted != nil {
+		s.hookAdmitted(r)
+	}
+	return func() {
+		<-s.sem
+		s.completed.Add(1)
+		s.inflight.Done()
+	}, true
+}
+
+// requestCtx derives the request's working context: the client connection
+// context bounded by timeout_ms (or the server default).
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	ctx := r.Context()
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(v)
+}
+
+// writeErr maps a harness error onto its HTTP status and writes it.
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// statusOf is the error → status mapping of the API contract: canceled or
+// timed-out work is 504 (the deadline fired, not the simulator), budget
+// failures are 422 (the request was well-formed but the run exceeded its
+// machine limits), unrecoverable crash images are 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, wsperr.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, wsperr.ErrWPQOverflow), errors.Is(err, wsperr.ErrCyclesExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, wsperr.ErrUnrecoverable):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decode reads the JSON request body into v (an empty body decodes to the
+// zero value, so every field is optional at the wire level).
+func decode(r *http.Request, v any) error {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil || errors.Is(err, io.EOF) {
+		return nil
+	}
+	return fmt.Errorf("bad request body: %v", err)
+}

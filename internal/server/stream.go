@@ -1,0 +1,171 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"lightwsp/internal/compiler"
+	"lightwsp/internal/core"
+	"lightwsp/internal/experiments"
+	"lightwsp/internal/machine"
+	"lightwsp/internal/metrics"
+	"lightwsp/internal/probe"
+	"lightwsp/internal/workload"
+)
+
+// streamChunk is how many cycles the streaming run advances between
+// progress lines: large enough that JSON encoding never dominates the
+// simulation, small enough that clients see liveness every few wall-clock
+// milliseconds.
+const streamChunk = 1 << 20
+
+// milestone selects the protocol events worth a line on the wire: the rare
+// state transitions (deadlock-escape entry/exit, power failures, recovery
+// boots, fabric degradation) — never the per-store firehose.
+var milestone = map[probe.Kind]bool{
+	probe.WPQOverflowEnter:    true,
+	probe.WPQOverflowExit:     true,
+	probe.PowerFailCut:        true,
+	probe.PowerFailDrained:    true,
+	probe.RecoveryBoot:        true,
+	probe.FabricRetry:         true,
+	probe.FabricDupSuppressed: true,
+	probe.MCDegraded:          true,
+}
+
+// streamEvent is one NDJSON line. Type is "event" (a milestone probe
+// event), "progress" (a cycle heartbeat), "stats" (the terminal line) or
+// "error" (the terminal line of a failed run — the HTTP status is long
+// gone by then).
+type streamEvent struct {
+	Type   string            `json:"type"`
+	Kind   string            `json:"kind,omitempty"`
+	Cycle  uint64            `json:"cycle,omitempty"`
+	Core   int               `json:"core,omitempty"`
+	MC     int               `json:"mc,omitempty"`
+	Region uint64            `json:"region,omitempty"`
+	Arg    uint64            `json:"arg,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	Stats  any               `json:"stats,omitempty"`
+	Metric *metrics.Snapshot `json:"metrics,omitempty"`
+}
+
+// streamSink writes milestone probe events straight onto the response
+// stream. It is driven from the single simulation goroutine, so no
+// locking; flushing per event keeps latency low at milestone rates.
+type streamSink struct {
+	enc   *json.Encoder
+	flush http.Flusher
+}
+
+func (ss *streamSink) Emit(e probe.Event) {
+	if !milestone[e.Kind] {
+		return
+	}
+	ss.enc.Encode(streamEvent{
+		Type: "event", Kind: e.Kind.String(), Cycle: e.Cycle,
+		Core: e.Core, MC: e.MC, Region: e.Region, Arg: e.Arg,
+	})
+	if ss.flush != nil {
+		ss.flush.Flush()
+	}
+}
+
+// handleRunStream executes one fresh simulation and streams NDJSON while it
+// runs: milestone protocol events as they fire, a progress heartbeat every
+// streamChunk cycles, and a terminal stats (or error) line. Streaming runs
+// bypass the result cache — the event stream is the product — but still
+// execute on the shared worker pool under admission control.
+func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req RunRequest
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	p, ok := lookupProfile(w, req.Suite, req.App)
+	if !ok {
+		return
+	}
+	sch, ok := lookupScheme(w, req.Scheme)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	prog, err := workload.Build(p)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	ss := &streamSink{enc: enc, flush: flusher}
+	m := metrics.New()
+
+	fail := func(err error) {
+		enc.Encode(streamEvent{Type: "error", Error: err.Error()})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	rt, err := core.NewRuntimeFor(prog, ccfg, cfg, sch, probe.Multi(m, ss))
+	if err != nil {
+		fail(err)
+		return
+	}
+	perr := s.pool.DoCtx(ctx, func() {
+		var sys *machine.System
+		sys, err = rt.NewSystem()
+		if err != nil {
+			return
+		}
+		for next := uint64(streamChunk); ; next += streamChunk {
+			if next > s.cfg.MaxRunCycles {
+				next = s.cfg.MaxRunCycles
+			}
+			var done bool
+			done, err = sys.RunUntilContext(ctx, next)
+			if err != nil {
+				return
+			}
+			if done {
+				break
+			}
+			if next == s.cfg.MaxRunCycles {
+				err = sys.RunContext(ctx, s.cfg.MaxRunCycles) // surfaces the budget error
+				return
+			}
+			enc.Encode(streamEvent{Type: "progress", Cycle: sys.Cycle()})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		snap := m.Snapshot()
+		enc.Encode(streamEvent{
+			Type: "stats", Cycle: sys.Cycle(),
+			Stats: sys.Stats, Metric: &snap,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if perr != nil {
+		fail(perr)
+		return
+	}
+	if err != nil {
+		fail(err)
+	}
+}

@@ -13,6 +13,8 @@
 // of the harness builds bit-identical workloads.
 package workload
 
+import "strings"
+
 // Suite names a benchmark suite from the paper's evaluation.
 type Suite string
 
@@ -228,6 +230,25 @@ func BySuite(s Suite) []Profile {
 func ByName(s Suite, name string) (Profile, bool) {
 	for _, p := range BySuite(s) {
 		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Find resolves a suite/name pair against the benchmark registry and the
+// fuzzing profile sets, matching the suite case-insensitively — the lookup
+// every CLI and the serving layer share.
+func Find(suite, name string) (Profile, bool) {
+	for _, s := range Suites() {
+		if strings.EqualFold(string(s), suite) {
+			if p, ok := ByName(s, name); ok {
+				return p, true
+			}
+		}
+	}
+	for _, p := range FuzzNightlyProfiles() {
+		if strings.EqualFold(string(p.Suite), suite) && p.Name == name {
 			return p, true
 		}
 	}

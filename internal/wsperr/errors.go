@@ -1,0 +1,33 @@
+// Package wsperr defines the typed sentinel errors every layer of the
+// simulator maps its failures onto. It is a leaf package — no imports beyond
+// the standard library — so the machine, the runtime, the experiment harness
+// and the serving layer can all wrap the same sentinels without cycles, and a
+// caller can classify any failure with errors.Is instead of matching
+// formatted strings. The HTTP server uses exactly this classification to map
+// run failures onto response statuses.
+package wsperr
+
+import "errors"
+
+var (
+	// ErrCanceled marks a run abandoned because its context was canceled
+	// or its deadline expired; the simulation stopped at a cycle-batch
+	// boundary without completing.
+	ErrCanceled = errors.New("run canceled")
+
+	// ErrCyclesExceeded marks a run that did not complete within its cycle
+	// budget.
+	ErrCyclesExceeded = errors.New("cycle budget exceeded")
+
+	// ErrWPQOverflow marks a run that exhausted its cycle budget while at
+	// least one memory controller was wedged in the §IV-D deadlock-escape
+	// overflow state — the persist fabric, not the program, is what failed
+	// to make progress.
+	ErrWPQOverflow = errors.New("WPQ overflow: persist path wedged in deadlock escape")
+
+	// ErrUnrecoverable marks a persisted image that the §IV-F recovery
+	// protocol cannot resume from (corrupt checkpoint state, a scheme
+	// without recovery metadata, or no forward progress across repeated
+	// failures).
+	ErrUnrecoverable = errors.New("persisted state is unrecoverable")
+)

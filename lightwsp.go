@@ -34,9 +34,17 @@
 //	b.Halt()
 //	prog, _ := b.Build()
 //
-//	rt, _ := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
-//	res, _ := rt.RunWithFailure(500, 1_000_000) // cut power at cycle 500
+//	rt, _ := lightwsp.Open(prog)
+//	res, _ := rt.RunWithFailure(context.Background(), 500, 1_000_000) // cut power at cycle 500
 //	fmt.Println(res.Recovered.PM().Read(0x1000)) // 42, recovered
+//
+// # API stability
+//
+// Open, its options, and the context-taking Runtime methods are the stable,
+// documented entry points. The positional constructors New and NewSystem are
+// deprecated wrappers kept for one release so existing callers migrate
+// incrementally; CI runs apidiff against the main branch, so any change to
+// this façade's exported surface is flagged in review.
 package lightwsp
 
 import (
@@ -46,8 +54,24 @@ import (
 	"lightwsp/internal/isa"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/mem"
+	"lightwsp/internal/metrics"
+	"lightwsp/internal/probe"
 	"lightwsp/internal/recovery"
 	"lightwsp/internal/workload"
+	"lightwsp/internal/wsperr"
+)
+
+// Typed sentinel errors every run failure wraps; classify with errors.Is.
+var (
+	// ErrCanceled: the run's context was canceled or its deadline expired.
+	ErrCanceled = wsperr.ErrCanceled
+	// ErrCyclesExceeded: the run did not complete within its cycle budget.
+	ErrCyclesExceeded = wsperr.ErrCyclesExceeded
+	// ErrWPQOverflow: the budget ran out while a memory controller was
+	// wedged in the §IV-D deadlock-escape overflow state.
+	ErrWPQOverflow = wsperr.ErrWPQOverflow
+	// ErrUnrecoverable: the persisted image cannot be resumed from.
+	ErrUnrecoverable = wsperr.ErrUnrecoverable
 )
 
 // Config is the machine configuration; DefaultConfig mirrors Table I of the
@@ -95,10 +119,93 @@ type Scheme = machine.Scheme
 // Image is a sparse memory image (the persisted PM state).
 type Image = mem.Image
 
+// ProbeEvent is one cycle-level instrumentation event.
+type ProbeEvent = probe.Event
+
+// ProbeSink consumes cycle-level instrumentation events. Sinks are driven
+// from the single simulation goroutine and need not be concurrency-safe.
+type ProbeSink = probe.Sink
+
+// ProbeSinkFunc adapts a function to ProbeSink.
+type ProbeSinkFunc = probe.SinkFunc
+
+// MultiProbeSink fans events out to several sinks, dropping nils.
+func MultiProbeSink(sinks ...ProbeSink) ProbeSink { return probe.Multi(sinks...) }
+
+// Metrics aggregates a run's probe events into the counters and histograms
+// the evaluation cares about; it implements ProbeSink.
+type Metrics = metrics.Metrics
+
+// NewMetrics returns an empty metrics accumulator.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// Option configures Open.
+type Option func(*openOptions)
+
+type openOptions struct {
+	cfg    Config
+	ccfg   CompilerConfig
+	sch    Scheme
+	sinks  []ProbeSink
+	hasCfg bool
+}
+
+// WithConfig sets the machine configuration (default: DefaultConfig, the
+// paper's Table I system).
+func WithConfig(cfg Config) Option {
+	return func(o *openOptions) { o.cfg = cfg; o.hasCfg = true }
+}
+
+// WithCompiler sets the region compiler configuration. The zero value — and
+// omitting this option — uses the paper's defaults (store threshold = half
+// the WPQ, 4x loop unrolling).
+func WithCompiler(ccfg CompilerConfig) Option {
+	return func(o *openOptions) { o.ccfg = ccfg }
+}
+
+// WithScheme selects the persistence scheme (default: LightWSPScheme).
+// Instrumented schemes run prog through the region compiler; uninstrumented
+// comparison schemes (BaselineScheme, PSPIdealScheme, ...) run it as built
+// and cannot recover from failures.
+func WithScheme(sch Scheme) Option {
+	return func(o *openOptions) { o.sch = sch }
+}
+
+// WithProbeSink attaches a cycle-level instrumentation sink to every system
+// the runtime boots. Repeated options (and WithMetrics) compose: each sink
+// receives every event.
+func WithProbeSink(s ProbeSink) Option {
+	return func(o *openOptions) { o.sinks = append(o.sinks, s) }
+}
+
+// WithMetrics attaches a metrics accumulator to every system the runtime
+// boots — shorthand for WithProbeSink(m).
+func WithMetrics(m *Metrics) Option {
+	return func(o *openOptions) { o.sinks = append(o.sinks, m) }
+}
+
+// Open binds prog to a machine configuration and persistence scheme and
+// returns the Runtime that drives runs, power failures and recoveries. With
+// no options it opens the paper's system: Table I hardware, LightWSP scheme,
+// default compiler. Open is the package's entry point; see Option for the
+// available knobs.
+func Open(prog *Program, opts ...Option) (*Runtime, error) {
+	o := openOptions{sch: core.Scheme()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if !o.hasCfg {
+		o.cfg = DefaultConfig()
+	}
+	return core.NewRuntimeFor(prog, o.ccfg, o.cfg, o.sch, probe.Multi(o.sinks...))
+}
+
 // New compiles prog for LightWSP and returns a Runtime. A zero ccfg uses
 // the paper's compiler defaults.
+//
+// Deprecated: use Open with WithCompiler and WithConfig.
 func New(prog *Program, ccfg CompilerConfig, cfg Config) (*Runtime, error) {
-	return core.NewRuntime(prog, ccfg, cfg)
+	return Open(prog, WithCompiler(ccfg), WithConfig(cfg))
 }
 
 // Compile runs only the LightWSP compiler (region partitioning +
@@ -135,8 +242,10 @@ var (
 )
 
 // NewSystem boots a machine running prog under an arbitrary scheme —
-// the low-level entry the comparison schemes use. For LightWSP itself,
-// prefer New, which also compiles and wires recovery metadata.
+// the low-level entry the comparison schemes use.
+//
+// Deprecated: use Open with WithScheme, then Runtime.NewSystem (or
+// Runtime.Run, which boots and runs in one step).
 func NewSystem(prog *Program, cfg Config, sch Scheme) (*System, error) {
 	return machine.NewSystem(prog, cfg, sch)
 }

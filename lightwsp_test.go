@@ -1,6 +1,7 @@
 package lightwsp_test
 
 import (
+	"context"
 	"testing"
 
 	"lightwsp"
@@ -8,6 +9,7 @@ import (
 
 // TestQuickstart exercises the façade the way README.md shows it.
 func TestQuickstart(t *testing.T) {
+	ctx := context.Background()
 	b := lightwsp.NewProgramBuilder("hello")
 	b.Func("main")
 	b.MovImm(1, 0x1000)
@@ -18,11 +20,11 @@ func TestQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys, err := rt.RunToCompletion(1_000_000)
+	sys, err := rt.Run(ctx, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,6 +34,7 @@ func TestQuickstart(t *testing.T) {
 }
 
 func TestFacadeCrashRecover(t *testing.T) {
+	ctx := context.Background()
 	b := lightwsp.NewProgramBuilder("crash")
 	b.Func("main")
 	b.MovImm(1, 0x2000)
@@ -51,15 +54,15 @@ func TestFacadeCrashRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := lightwsp.New(prog, lightwsp.CompilerConfig{}, lightwsp.DefaultConfig())
+	rt, err := lightwsp.Open(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, err := rt.RunToCompletion(1_000_000)
+	clean, err := rt.Run(ctx, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := rt.RunWithFailure(clean.Stats.Cycles/2, 1_000_000)
+	res, err := rt.RunWithFailure(ctx, clean.Stats.Cycles/2, 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
