@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lightwsp/internal/workload"
+)
+
+func TestCoreBenchProfilesSelection(t *testing.T) {
+	all, err := CoreBenchProfiles("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(workload.Profiles()) {
+		t.Fatalf("empty selection gave %d profiles, want %d", len(all), len(workload.Profiles()))
+	}
+	// lbm appears in CPU2006 and CPU2017: both must be selected.
+	lbm, err := CoreBenchProfiles("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lbm) != 2 {
+		t.Fatalf("lbm selected %d profiles, want 2", len(lbm))
+	}
+	if _, err := CoreBenchProfiles("lbm,no-such-app"); err == nil {
+		t.Fatal("unknown application accepted")
+	}
+}
+
+func TestCoreBenchRunsAndVerifies(t *testing.T) {
+	p := workload.FuzzSmokeProfiles()[0]
+	rep, err := CoreBench(context.Background(), []workload.Profile{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 2 { // lightwsp + baseline
+		t.Fatalf("entries = %d, want 2", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.Cycles == 0 || e.NaiveWallSec <= 0 || e.FastWallSec <= 0 {
+			t.Fatalf("degenerate entry: %+v", e)
+		}
+		if e.FFRatio < 0 || e.FFRatio > 1 {
+			t.Fatalf("fast-forward ratio out of range: %+v", e)
+		}
+	}
+	if rep.GeomeanSpeedup <= 0 {
+		t.Fatalf("geomean speedup = %f", rep.GeomeanSpeedup)
+	}
+	out := rep.String()
+	for _, want := range []string{"speedup", "geomean", "fuzz-st", "lightwsp", "baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report rendering missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -268,6 +268,39 @@ func (in *Injector) MCStuck(now uint64, mc int) bool {
 	return now >= in.plan.StuckFrom && now-in.plan.StuckFrom < in.plan.StuckFor
 }
 
+// NoEvent is NextEvent's result when no time-driven edge remains.
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the next cycle strictly after now at which a
+// time-driven decision of the injector changes: the stuck window's start or
+// its end. Per-message faults (drop/dup/delay/reorder) are decided at Send
+// time and need no schedule of their own. Nil-receiver safe; returns
+// NoEvent when no edge remains.
+func (in *Injector) NextEvent(now uint64) uint64 {
+	if in == nil || in.plan.StuckFor == 0 {
+		return NoEvent
+	}
+	if in.plan.StuckFrom > now {
+		return in.plan.StuckFrom
+	}
+	if end := in.plan.StuckFrom + in.plan.StuckFor; end > now {
+		return end
+	}
+	return NoEvent
+}
+
+// StuckUntil returns the first cycle at or after now at which mc is outside
+// its stuck window — now itself when it is not currently stuck. The
+// event/epoch scheduler uses it to defer a stuck controller's queue events
+// to the window's end, mirroring the per-cycle stepper, which skips a stuck
+// controller's tick entirely.
+func (in *Injector) StuckUntil(now uint64, mc int) uint64 {
+	if !in.MCStuck(now, mc) {
+		return now
+	}
+	return in.plan.StuckFrom + in.plan.StuckFor
+}
+
 // roll draws an independent percentage decision from the message hash.
 func roll(h uint64, salt uint64, pct int) bool {
 	if pct <= 0 {

@@ -84,6 +84,7 @@ func (c *Core) opReady(in *isa.Instr, now uint64) bool {
 // verified space with sbRoom.
 func (c *Core) pushStore(addr, val, region uint64, boundary bool, now uint64) {
 	c.sb = append(c.sb, sbEntry{addr: addr, val: val, region: region, boundary: boundary, born: now})
+	c.sys.sbPending++
 }
 
 func (c *Core) sbRoom(n int) bool { return len(c.sb)+n <= c.sys.cfg.SBEntries }
@@ -188,6 +189,7 @@ func (c *Core) drainSB(now uint64) {
 			}
 		}
 		c.outstanding++
+		s.pathPending++
 		s.Stats.PersistEntries++
 	}
 	// Regular path: write-allocate into L1 (checkpoint-array and stack
@@ -213,6 +215,7 @@ func (c *Core) drainSB(now uint64) {
 		}
 	}
 	c.sb = c.sb[1:]
+	s.sbPending--
 }
 
 // snoopFn returns the buffer-snooping predicate for L1 victim selection, or
@@ -376,6 +379,7 @@ func (c *Core) step(in *isa.Instr, now uint64) bool {
 			c.emitBoundary(c.pc, now, false)
 		}
 		c.halted = true
+		s.runningCores--
 
 	case isa.Fence:
 		if !c.syncBoundary(now, 0) {
@@ -550,6 +554,71 @@ func (c *Core) effAddr(base uint64, imm int64) uint64 {
 		panic(fmt.Sprintf("machine: core %d access %#x beyond PM at %v", c.id, addr, c.pc))
 	}
 	return addr
+}
+
+// nextEvent returns the earliest cycle strictly after now at which tick
+// would do observable work, assuming no other component acts first. The
+// contract is one-sided: the result may be early (the extra tick repeats a
+// stall and is accounted identically) but never late. A core that can only
+// be woken externally — waitDrain with unmet conditions — reports noEvent;
+// the flush or path drain that wakes it is another component's event, and
+// skipIdle accounts the per-cycle drain-stall statistic for the span.
+func (c *Core) nextEvent(now uint64) uint64 {
+	if !c.active {
+		return noEvent
+	}
+	if len(c.sb) > 0 {
+		return now + 1 // store-buffer drain (or FEB back-pressure retry) every cycle
+	}
+	if c.halted {
+		return noEvent
+	}
+	if c.waitDrain {
+		if c.outstanding == 0 && (c.path == nil || c.path.Empty()) {
+			return now + 1 // the next tick clears the stall and issues
+		}
+		return noEvent
+	}
+	if c.bubbleUntil > now+1 {
+		return c.bubbleUntil // fetch-redirect bubble: no stats, no effects
+	}
+	// Operand readiness of the next instruction is the only predictable
+	// issue stall; everything else (lock spins read shared memory, SB-full
+	// depends on same-cycle drains) must be retried per cycle.
+	in := c.sys.prog.InstrAt(c.pc)
+	next := now + 1
+	var buf [8]isa.Reg
+	for _, r := range in.Uses(buf[:0]) {
+		if c.ready[r] > next {
+			next = c.ready[r]
+		}
+	}
+	return next
+}
+
+// skipIdle applies the cumulative effect of ticking the core over an idle
+// span of n cycles starting at from. The caller guarantees the span is
+// quiescent for this core — nextEvent(from-1) > the span's last cycle — so
+// the core's state is frozen and the only per-cycle effects are the stall
+// statistics the naive stepper would have counted.
+func (c *Core) skipIdle(from, n uint64) {
+	if !c.active || c.halted || len(c.sb) > 0 {
+		return // inactive or halted-idle cores tick to nothing; sb>0 is never skipped
+	}
+	if c.waitDrain {
+		// Unmet by construction: a satisfied waitDrain reports now+1 and
+		// forbids any skip.
+		c.sys.Stats.StallDrain += n
+		return
+	}
+	if c.bubbleUntil > from {
+		// The whole span sits inside the fetch-redirect bubble (nextEvent
+		// stops at bubbleUntil, so a span never straddles it): no stats.
+		return
+	}
+	// Operand stall: nextEvent beyond the span means some source register
+	// stays unready through every cycle of it.
+	c.sys.Stats.StallOperand += n
 }
 
 // hideLatency models the out-of-order window: a consumer of a load pays

@@ -1,0 +1,303 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"lightwsp/internal/faults"
+	"lightwsp/internal/probe"
+	"lightwsp/internal/wsperr"
+)
+
+// eventHash is an order-sensitive FNV-style digest over a probe event
+// stream. Two runs with equal hashes and counts emitted the same events, in
+// the same order, with the same cycles — the strongest cheap witness that
+// the fast path preserved probe fidelity.
+type eventHash struct {
+	n, h uint64
+}
+
+func newEventHash() *eventHash { return &eventHash{h: 14695981039346656037} }
+
+func (s *eventHash) Emit(e probe.Event) {
+	s.n++
+	for _, v := range [...]uint64{uint64(e.Kind), e.Cycle, uint64(int64(e.Core)),
+		uint64(int64(e.MC)), e.Region, e.Addr, e.Arg} {
+		s.h ^= v
+		s.h *= 1099511628211
+	}
+}
+
+// steppedPair runs the same program twice — once on the naive per-cycle
+// reference stepper, once on the event/epoch fast path — with an event hash
+// attached to each, and returns both finished systems and hashes.
+func steppedPair(t *testing.T, mk func() *System, budget uint64) (naive, fast *System, nh, fh *eventHash) {
+	t.Helper()
+	naive, fast = mk(), mk()
+	naive.SetNaiveStepper(true)
+	nh, fh = newEventHash(), newEventHash()
+	naive.SetProbeSink(nh)
+	fast.SetProbeSink(fh)
+	if !naive.Run(budget) {
+		t.Fatal("naive run did not complete")
+	}
+	if !fast.Run(budget) {
+		t.Fatal("fast run did not complete")
+	}
+	return naive, fast, nh, fh
+}
+
+// assertIdentical is the byte-identical oracle: every observable of the two
+// runs must match exactly.
+func assertIdentical(t *testing.T, naive, fast *System, nh, fh *eventHash) {
+	t.Helper()
+	if naive.Stats.Cycles != fast.Stats.Cycles {
+		t.Errorf("cycle counts diverge: naive=%d fast=%d", naive.Stats.Cycles, fast.Stats.Cycles)
+	}
+	if !reflect.DeepEqual(naive.Stats, fast.Stats) {
+		t.Errorf("stats diverge:\n naive: %+v\n fast:  %+v", naive.Stats, fast.Stats)
+	}
+	if !naive.PM().Equal(fast.PM()) {
+		t.Error("final PM images diverge")
+	}
+	if !naive.Arch().Equal(fast.Arch()) {
+		t.Error("final architectural memories diverge")
+	}
+	if !reflect.DeepEqual(naive.Output, fast.Output) {
+		t.Errorf("outputs diverge: naive=%v fast=%v", naive.Output, fast.Output)
+	}
+	if nh.n != fh.n || nh.h != fh.h {
+		t.Errorf("probe streams diverge: naive %d events (hash %#x), fast %d events (hash %#x)",
+			nh.n, nh.h, fh.n, fh.h)
+	}
+}
+
+func TestFastMatchesNaiveSmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		wantSkips bool // contended runs may legitimately never jump
+		mk        func() *System
+	}{
+		{"baseline", false, func() *System {
+			sys, err := NewSystem(storeProg(40, 0x1000), smallCfg(), plainScheme())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		}},
+		{"lightwsp", true, func() *System {
+			prog := compiled(t, storeProg(60, 0x1000))
+			sys, err := NewSystem(prog, smallCfg(), lightScheme())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sys
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			naive, fast, nh, fh := steppedPair(t, tc.mk, 2_000_000)
+			assertIdentical(t, naive, fast, nh, fh)
+			if sk, j := fast.FastForwardStats(); tc.wantSkips && (sk == 0 || j == 0) {
+				t.Errorf("fast path never fast-forwarded: skipped=%d jumps=%d", sk, j)
+			}
+			if sk, j := naive.FastForwardStats(); sk != 0 || j != 0 {
+				t.Errorf("naive stepper fast-forwarded: skipped=%d jumps=%d", sk, j)
+			}
+		})
+	}
+}
+
+// TestDoneMatchesScanEveryCycle cross-checks the O(1) completion counters
+// against the reference component scan at every single cycle of a run —
+// including a fault-injected one, where parked messages and stuck windows
+// move entries along the unusual paths.
+func TestDoneMatchesScanEveryCycle(t *testing.T) {
+	check := func(t *testing.T, sys *System) {
+		t.Helper()
+		for c := uint64(0); c < 2_000_000 && !sys.scanDone(); c++ {
+			if sys.Done() != sys.scanDone() {
+				t.Fatalf("cycle %d: Done()=%v but scanDone()=%v", sys.Cycle(), sys.Done(), sys.scanDone())
+			}
+			sys.Tick()
+		}
+		if !sys.Done() {
+			t.Fatalf("run did not complete, or Done()=false at scanDone: %s", sys.DebugState())
+		}
+	}
+	t.Run("clean", func(t *testing.T) {
+		sys, err := NewSystem(compiled(t, storeProg(50, 0x1000)), smallCfg(), lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, sys)
+	})
+	t.Run("faulted", func(t *testing.T) {
+		cfg := smallCfg()
+		cfg.RetryTimeout = 40
+		cfg.DegradeDeadline = 150
+		sys, err := NewSystem(compiled(t, storeProg(50, 0x1000)), cfg, lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetFaultInjector(faults.New(faults.Plan{
+			Seed: 7, DropPct: 20, DupPct: 10, DelayPct: 15, MaxDelay: 12,
+			StuckMC: 1, StuckFrom: 100, StuckFor: 400,
+		}))
+		check(t, sys)
+	})
+}
+
+// TestRunUntilLandsExactly pins the crashfuzz contract: a fast-forwarding
+// machine must stop at exactly the requested cycle, never past it, so
+// PowerFail cuts land on the same cycle the naive stepper would cut.
+func TestRunUntilLandsExactly(t *testing.T) {
+	prog := compiled(t, storeProg(60, 0x1000))
+	ref, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetNaiveStepper(true)
+	if !ref.Run(2_000_000) {
+		t.Fatal("reference run did not complete")
+	}
+	total := ref.Stats.Cycles
+	step := total / 9
+	if step == 0 {
+		step = 1
+	}
+	for cut := step; cut < total; cut += step {
+		sys, err := NewSystem(prog, smallCfg(), lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.RunUntil(cut) {
+			t.Fatalf("done before reference completion at cut %d", cut)
+		}
+		if sys.Cycle() != cut {
+			t.Fatalf("RunUntil(%d) stopped at cycle %d", cut, sys.Cycle())
+		}
+	}
+	// Past completion the machine finishes at the same cycle as naive.
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RunUntil(total + 10_000) {
+		t.Fatal("run past completion cycle did not finish")
+	}
+	if sys.Stats.Cycles != total {
+		t.Fatalf("fast completion at cycle %d, naive at %d", sys.Stats.Cycles, total)
+	}
+}
+
+// TestBudgetErrorIdentical verifies that blowing the cycle budget behaves
+// identically under both steppers: same error class, same final cycle.
+func TestBudgetErrorIdentical(t *testing.T) {
+	prog := compiled(t, storeProg(60, 0x1000))
+	ref, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.SetNaiveStepper(true)
+	if !ref.Run(2_000_000) {
+		t.Fatal("reference run did not complete")
+	}
+	budget := ref.Stats.Cycles / 2
+	run := func(naiveStep bool) *System {
+		sys, err := NewSystem(prog, smallCfg(), lightScheme())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.SetNaiveStepper(naiveStep)
+		if sys.Run(budget) {
+			t.Fatalf("run completed inside a %d-cycle budget", budget)
+		}
+		return sys
+	}
+	naive, fast := run(true), run(false)
+	if naive.Stats.Cycles != budget || fast.Stats.Cycles != budget {
+		t.Fatalf("budget landings: naive=%d fast=%d, want %d", naive.Stats.Cycles, fast.Stats.Cycles, budget)
+	}
+	if !reflect.DeepEqual(naive.Stats, fast.Stats) {
+		t.Fatalf("stats diverge at the budget:\n naive: %+v\n fast:  %+v", naive.Stats, fast.Stats)
+	}
+}
+
+// TestFastForwardActuallySkips pins the perf payoff: a latency-dominated
+// run must spend a nonzero share of its cycles fast-forwarded, and the
+// skip accounting must stay inside the run's cycle count.
+func TestFastForwardActuallySkips(t *testing.T) {
+	prog := compiled(t, storeProg(80, 0x1000))
+	sys, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Run(2_000_000) {
+		t.Fatal("run did not complete")
+	}
+	skipped, jumps := sys.FastForwardStats()
+	if skipped == 0 || jumps == 0 {
+		t.Fatalf("no fast-forwarding on a latency-dominated run: skipped=%d jumps=%d", skipped, jumps)
+	}
+	if skipped >= sys.Stats.Cycles {
+		t.Fatalf("skipped %d of %d cycles — accounting is broken", skipped, sys.Stats.Cycles)
+	}
+}
+
+// TestBrokenFastForwardIsCaught gives the equivalence oracle its teeth: a
+// deliberately broken scheduler — every next-event estimate one cycle late,
+// violating the never-late half of the contract — must produce a divergence
+// the byte-identical comparison detects. If this test fails, the oracle
+// cannot be trusted to catch real scheduler bugs.
+func TestBrokenFastForwardIsCaught(t *testing.T) {
+	prog := compiled(t, storeProg(60, 0x1000))
+	naive, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive.SetNaiveStepper(true)
+	nh := newEventHash()
+	naive.SetProbeSink(nh)
+	if !naive.Run(2_000_000) {
+		t.Fatal("naive run did not complete")
+	}
+
+	broken, err := NewSystem(prog, smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken.ffSkew = 1 // sabotage: overshoot every event by one cycle
+	bh := newEventHash()
+	broken.SetProbeSink(bh)
+	broken.Run(4_000_000) // completion is not guaranteed with a broken scheduler
+
+	if _, jumps := broken.FastForwardStats(); jumps == 0 {
+		t.Fatal("sabotaged scheduler never jumped — the sabotage did not engage")
+	}
+	diverged := naive.Stats.Cycles != broken.Stats.Cycles ||
+		!reflect.DeepEqual(naive.Stats, broken.Stats) ||
+		!naive.PM().Equal(broken.PM()) ||
+		nh.n != bh.n || nh.h != bh.h
+	if !diverged {
+		t.Fatal("a deliberately late scheduler produced byte-identical results — the oracle has no teeth")
+	}
+}
+
+// TestCanceledContextStopsRunLoop keeps the single run loop honoring
+// context cancellation before the first tick.
+func TestCanceledContextStopsRunLoop(t *testing.T) {
+	sys, err := NewSystem(compiled(t, storeProg(10, 0x1000)), smallCfg(), lightScheme())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sys.RunContext(ctx, 1_000_000); !errors.Is(err, wsperr.ErrCanceled) {
+		t.Fatalf("RunContext on a dead context: %v, want ErrCanceled", err)
+	}
+	if sys.Cycle() != 0 {
+		t.Fatalf("machine advanced %d cycles under a dead context", sys.Cycle())
+	}
+}

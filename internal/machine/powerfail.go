@@ -38,6 +38,7 @@ func (s *System) PowerFail() FailureReport {
 			c.path.DropAll()
 		}
 	}
+	s.runningCores, s.sbPending, s.pathPending = 0, 0, 0
 	// Boundary broadcasts still on the core side are lost; MC↔MC ACKs
 	// survive on battery and are guaranteed to arrive (§IV-F step 1).
 	s.net.DropCoreTraffic()
@@ -86,6 +87,7 @@ func (s *System) PowerFail() FailureReport {
 	for _, m := range s.mcs {
 		rep.Discarded += m.q.Discard()
 	}
+	s.wpqPending = 0
 	if s.probe != nil {
 		s.probe.Emit(probe.Event{Kind: probe.PowerFailDrained, Cycle: s.cycle,
 			Core: -1, MC: -1, Arg: uint64(rep.Discarded)})

@@ -66,6 +66,19 @@ type System struct {
 
 	statsFinal bool // finalizeStats already folded component counters in
 
+	// Done bookkeeping: live counters maintained at every state transition
+	// so completion is an O(1) check instead of a scan of every component.
+	runningCores int // active cores not yet halted
+	sbPending    int // store-buffer entries across all cores
+	pathPending  int // persist-path entries (front-end buffers + channels)
+	wpqPending   int // data entries across all WPQs
+
+	// Event/epoch stepper state (fastpath.go).
+	naiveStep bool   // true = reference per-cycle stepper
+	ffSkipped uint64 // cycles fast-forwarded past
+	ffJumps   uint64 // fast-forward jumps taken
+	ffSkew    uint64 // test-only: offsets next-events to break the contract
+
 	// Output is the machine's output device: the values emitted by Io
 	// instructions, in emission order (§IV-A irrevocable operations).
 	Output []uint64
@@ -86,6 +99,7 @@ func NewSystem(prog *isa.Program, cfg Config, scheme Scheme) (*System, error) {
 	for t := 0; t < cfg.Threads; t++ {
 		c := s.cores[t]
 		c.active = true
+		s.runningCores++
 		c.pc = isa.PC{Func: prog.Entry}
 		c.regs[isa.ArgReg(0)] = uint64(t)
 		c.regs[isa.ArgReg(1)] = uint64(cfg.Threads)
@@ -120,6 +134,7 @@ func NewRecoveredSystem(prog *isa.Program, cfg Config, scheme Scheme, pmImage *m
 	for t := 0; t < cfg.Threads; t++ {
 		c := s.cores[t]
 		c.active = true
+		s.runningCores++
 		c.pc = states[t].PC
 		c.regs = states[t].Regs
 		c.sp = states[t].SP
@@ -254,6 +269,7 @@ func (s *System) NextRegionID() uint64 { return s.regionCounter + 1 }
 func (s *System) pmWrite(addr, val uint64) { s.pm.Write(addr, val) }
 
 func (s *System) onFlush(mcID int, e wpq.Entry) {
+	s.wpqPending--
 	s.Stats.PersistFlushed++
 	s.Stats.PersistResidency += s.cycle - e.Born
 	if e.Core >= 0 && e.Core < len(s.cores) {
@@ -389,9 +405,17 @@ func (s *System) Prog() *isa.Program { return s.prog }
 func (s *System) SchemeInfo() Scheme { return s.scheme }
 
 // Done reports whether execution and persistence both finished: all threads
-// halted, every persist path drained, every WPQ empty, no in-flight
-// messages.
+// halted, every store buffer and persist path drained, every WPQ empty, no
+// in-flight or parked messages. O(1): the counters are maintained at every
+// state transition (scanDone is the reference scan, cross-checked in tests).
 func (s *System) Done() bool {
+	return s.runningCores == 0 && s.sbPending == 0 && s.pathPending == 0 &&
+		s.wpqPending == 0 && s.net.Pending() == 0 && len(s.parked) == 0
+}
+
+// scanDone is the reference completion check: a full scan of every
+// component. Done must agree with it at every cycle; tests enforce that.
+func (s *System) scanDone() bool {
 	for _, c := range s.cores {
 		if c.active && (!c.halted || len(c.sb) != 0) {
 			return false
@@ -419,8 +443,13 @@ func (s *System) Tick() {
 		if c.path == nil {
 			continue
 		}
+		// The path mutates its own occupancy (boundary dispatch replicates
+		// one buffer entry into every channel; deliveries pop); fold the
+		// difference into the machine-wide counter.
+		before := c.path.Pending()
 		c.path.Tick(now)
 		c.path.DeliverReady(now, s.sink)
+		s.pathPending += c.path.Pending() - before
 	}
 	if s.inj != nil {
 		s.tickFaults(now)
@@ -480,10 +509,14 @@ func (s *System) sink(m int, e persistpath.Entry) bool {
 			q.AcceptControl(e.Region)
 			return true
 		}
-		return q.Accept(wpq.Entry{
+		ok := q.Accept(wpq.Entry{
 			Addr: e.Addr, Val: e.Val, Region: e.Region,
 			Boundary: e.Boundary, Core: e.Core, Born: e.Born,
 		})
+		if ok {
+			s.wpqPending++
+		}
+		return ok
 	}
 	// Instrumented path: same delivery, bracketed so WPQ enqueues and the
 	// overflow-escape transitions (which happen inside Accept and the
@@ -499,6 +532,7 @@ func (s *System) sink(m int, e persistpath.Entry) bool {
 			Boundary: e.Boundary, Core: e.Core, Born: e.Born,
 		})
 		if ok {
+			s.wpqPending++
 			s.probe.Emit(probe.Event{Kind: probe.WPQEnqueue, Cycle: s.cycle,
 				Core: e.Core, MC: m, Region: e.Region, Addr: e.Addr,
 				Arg: uint64(q.Len())})
@@ -534,22 +568,14 @@ const ctxCheckBatch = 4096
 // deadlock-escape state when the budget ran out) or wsperr.ErrCyclesExceeded
 // otherwise. Context cancellation is checked every ctxCheckBatch cycles.
 func (s *System) RunContext(ctx context.Context, maxCycles uint64) error {
-	next := s.cycle // poll ctx before the first tick, so an expired deadline never runs
-	for !s.Done() {
-		if s.cycle >= maxCycles {
-			s.Stats.Cycles = s.cycle
-			return s.budgetErr(maxCycles)
-		}
-		if s.cycle >= next {
-			if err := ctx.Err(); err != nil {
-				s.Stats.Cycles = s.cycle
-				return fmt.Errorf("machine: %w at cycle %d: %v", wsperr.ErrCanceled, s.cycle, err)
-			}
-			next = s.cycle + ctxCheckBatch
-		}
-		s.Tick()
-	}
+	done, err := s.runLoop(ctx, maxCycles)
 	s.Stats.Cycles = s.cycle
+	if err != nil {
+		return err
+	}
+	if !done {
+		return s.budgetErr(maxCycles)
+	}
 	s.finalizeStats()
 	return nil
 }
@@ -586,23 +612,15 @@ func (s *System) RunUntil(cycle uint64) bool {
 // (false, nil) when the target cycle was reached first, and (false, err
 // wrapping wsperr.ErrCanceled) when the context ended first.
 func (s *System) RunUntilContext(ctx context.Context, cycle uint64) (bool, error) {
-	next := s.cycle
-	for !s.Done() && s.cycle < cycle {
-		if s.cycle >= next {
-			if err := ctx.Err(); err != nil {
-				s.Stats.Cycles = s.cycle
-				return false, fmt.Errorf("machine: %w at cycle %d: %v", wsperr.ErrCanceled, s.cycle, err)
-			}
-			next = s.cycle + ctxCheckBatch
-		}
-		s.Tick()
-	}
+	done, err := s.runLoop(ctx, cycle)
 	s.Stats.Cycles = s.cycle
-	if s.Done() {
-		s.finalizeStats()
-		return true, nil
+	if err != nil {
+		return false, err
 	}
-	return false, nil
+	if done {
+		s.finalizeStats()
+	}
+	return done, nil
 }
 
 func (s *System) finalizeStats() {

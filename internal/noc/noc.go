@@ -159,6 +159,23 @@ func (n *Network) Deliver(now uint64) []Message {
 // duplicates still in flight.
 func (n *Network) Pending() int { return len(n.queue) }
 
+// NoEvent is NextArrival's result for an empty network.
+const NoEvent = ^uint64(0)
+
+// NextArrival returns the earliest pending delivery cycle, or NoEvent when
+// nothing is in flight. After Deliver(now) every queued message has
+// arrival > now, so the event/epoch scheduler can jump straight to the
+// returned cycle: a Deliver call on any cycle in between would pop nothing.
+func (n *Network) NextArrival() uint64 {
+	next := uint64(NoEvent)
+	for _, f := range n.queue {
+		if f.arrival < next {
+			next = f.arrival
+		}
+	}
+	return next
+}
+
 // DrainAll delivers every in-flight message immediately, regardless of
 // arrival cycle, and returns them in send order — the order Send was called,
 // which for equal-arrival (and even fault-delayed) messages is the same

@@ -69,6 +69,10 @@ type Path struct {
 	feb      []Entry
 	credit   int
 	channels [][]inflight // per MC, FIFO
+	// pending mirrors len(feb) + InFlight() so Empty and Pending are O(1):
+	// a boundary leaving the front-end buffer replicates into every channel,
+	// so dispatch is not occupancy-neutral.
+	pending int
 
 	// Stats.
 	Dispatched     uint64 // entries that left the front-end buffer
@@ -102,7 +106,11 @@ func (p *Path) InFlight() int {
 }
 
 // Empty reports whether the buffer and all channels are drained.
-func (p *Path) Empty() bool { return len(p.feb) == 0 && p.InFlight() == 0 }
+func (p *Path) Empty() bool { return p.pending == 0 }
+
+// Pending returns the entries anywhere on the path (buffer plus channels)
+// in O(1); the machine's completion check aggregates it.
+func (p *Path) Pending() int { return p.pending }
 
 // Enqueue appends an entry to the front-end buffer; false means the buffer
 // is full and the store buffer must hold the store (back pressure).
@@ -112,6 +120,7 @@ func (p *Path) Enqueue(e Entry) bool {
 		return false
 	}
 	p.feb = append(p.feb, e)
+	p.pending++
 	return true
 }
 
@@ -185,6 +194,7 @@ func (p *Path) Tick(now uint64) {
 				c.Control = m != home
 				p.channels[m] = append(p.channels[m], inflight{e: c, arrival: now + p.cfg.Latency(m)})
 			}
+			p.pending += p.cfg.NumMCs - 1 // one buffer entry became NumMCs channel entries
 			if p.probe != nil {
 				p.probe.Emit(probe.Event{Kind: probe.BoundaryBroadcast, Cycle: now,
 					Core: e.Core, MC: -1, Region: e.Region})
@@ -213,6 +223,7 @@ func (p *Path) DeliverReady(now uint64, sink func(mc int, e Entry) bool) {
 				break
 			}
 			ch = ch[1:]
+			p.pending--
 		}
 		p.channels[m] = ch
 	}
@@ -227,4 +238,100 @@ func (p *Path) DropAll() {
 		p.channels[m] = nil
 	}
 	p.credit = 0
+	p.pending = 0
+}
+
+// NoEvent is NextEvent's result for a fully drained path.
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the earliest cycle strictly after now at which Tick or
+// DeliverReady would do observable work, assuming no other component acts
+// first. The contract is one-sided: the result may be conservative (an
+// early tick is a no-op) but never late — every cycle in (now, NextEvent)
+// is provably an idle tick whose only effect is bandwidth-credit accrual,
+// which SkipIdle replays in bulk.
+func (p *Path) NextEvent(now uint64) uint64 {
+	next := uint64(NoEvent)
+	for _, ch := range p.channels {
+		if len(ch) == 0 {
+			continue
+		}
+		a := ch[0].arrival
+		if a <= now {
+			// Head-of-line blocked delivery: the sink retry happens (and
+			// may count a WPQ rejection) every cycle.
+			return now + 1
+		}
+		if a < next {
+			next = a
+		}
+	}
+	if len(p.feb) > 0 {
+		need := p.feb[0].Bytes
+		if p.cfg.BytesPerCredit <= 0 {
+			return now + 1 // wedged bandwidth config: step like the naive loop
+		}
+		if p.credit < need {
+			// Credit-starved: dispatch first becomes possible at the accrual
+			// that covers the head entry. Cycles in between only accrue.
+			if cr := p.creditReady(now, need); cr < next {
+				next = cr
+			}
+		} else if !p.dispatchBlocked() {
+			return now + 1
+		}
+		// else: banked credit but no channel space — the delivery that
+		// frees a slot is already covered by the channel arrivals above.
+	}
+	return next
+}
+
+// creditReady returns the first cycle after now whose accrual lifts credit
+// to at least need bytes.
+func (p *Path) creditReady(now uint64, need int) uint64 {
+	bpc := p.cfg.BytesPerCredit
+	k := uint64((need - p.credit + bpc - 1) / bpc)
+	if cc := p.cfg.CreditCycles; cc > 1 {
+		return (now/cc + k) * cc
+	}
+	return now + k
+}
+
+// dispatchBlocked reports whether the head entry cannot enter its channels
+// for lack of space (mirrors Tick's admission checks exactly).
+func (p *Path) dispatchBlocked() bool {
+	e := &p.feb[0]
+	if e.Boundary {
+		for m := 0; m < p.cfg.NumMCs; m++ {
+			if len(p.channels[m]) >= p.cfg.ChannelCap {
+				return true
+			}
+		}
+		return false
+	}
+	return len(p.channels[p.cfg.MCOf(e.Addr)]) >= p.cfg.ChannelCap
+}
+
+// SkipIdle applies the cumulative effect of ticking the path over the idle
+// cycles from..to (inclusive) in one step: bandwidth-credit accrual under
+// the same cap Tick enforces. The caller guarantees the span is quiescent —
+// NextEvent(from-1) > to — so accrual is the span's only effect; capping
+// once at the end equals capping per cycle because accrual is monotone.
+func (p *Path) SkipIdle(from, to uint64) {
+	bpc := p.cfg.BytesPerCredit
+	if bpc <= 0 {
+		return
+	}
+	var accruals uint64
+	if cc := p.cfg.CreditCycles; cc > 1 {
+		accruals = to/cc - (from-1)/cc
+	} else {
+		accruals = to - from + 1
+	}
+	max := p.cfg.ChannelCap * p.cfg.NumMCs * 64
+	if c := uint64(p.credit) + accruals*uint64(bpc); c > uint64(max) {
+		p.credit = max
+	} else {
+		p.credit = int(c)
+	}
 }

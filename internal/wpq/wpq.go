@@ -532,6 +532,63 @@ func (q *Queue) tickGated(now uint64) {
 	}
 }
 
+// NoEvent is NextEvent's result when the queue has no scheduled activity.
+const NoEvent = ^uint64(0)
+
+// NextEvent returns the earliest cycle strictly after now at which Tick
+// would do observable work, given no further entry or message arrives. It
+// may be conservative (an early tick finds nothing to do and is a pure
+// no-op) but never late: every cycle in (now, NextEvent) is provably an
+// idle tick with no state change, statistic, or probe event. A queue
+// waiting on external input (a boundary, an ACK) reports NoEvent — the
+// delivery that unblocks it is another component's event, and the
+// scheduler recomputes after every real tick.
+func (q *Queue) NextEvent(now uint64) uint64 {
+	if q.cfg.Mode == FIFO {
+		if len(q.entries) == 0 {
+			return NoEvent
+		}
+		return laterOf(now+1, q.busyUntil)
+	}
+	next := uint64(NoEvent)
+	if q.retryEnabled {
+		// The retransmission timer acts only when the flush region has its
+		// boundary but is missing bdry-ACKs. Arming must happen on the very
+		// next tick — the arming cycle fixes the retry deadline — and an
+		// armed timer fires at retryAt. Disarming (wantsRetry false with the
+		// timer still armed) is cycle-independent: deferring it to the next
+		// real tick leaves identical observable state, because flushID is
+		// monotonic and a later re-arm always goes through the
+		// retryRegion-mismatch branch with the same resulting timer.
+		fid := q.flushID
+		if q.bdryRcvd[fid] && !q.canFlush(fid) {
+			if q.retryArmed && q.retryRegion == fid {
+				next = laterOf(now+1, q.retryAt)
+			} else {
+				return now + 1
+			}
+		}
+	}
+	// The gated flush walk has work exactly when the flush region is
+	// globally confirmed, or an escape path (overflow, degraded) has an
+	// eligible entry; the PM write port gates it by busyUntil.
+	if q.canFlush(q.flushID) ||
+		(q.overflow && q.findRegion(q.flushID) >= 0) ||
+		(q.degraded && len(q.entries) > 0) {
+		if ev := laterOf(now+1, q.busyUntil); ev < next {
+			next = ev
+		}
+	}
+	return next
+}
+
+func laterOf(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func (q *Queue) findRegion(r uint64) int {
 	for i := range q.entries {
 		if q.entries[i].Region == r {
