@@ -70,6 +70,11 @@ func main() {
 	coreMinSpeedup := flag.Float64("core-min-speedup", 0,
 		"corebench: fail unless the geomean fast-path speedup reaches this factor (0 disables)")
 	flag.Parse()
+	log, err := common.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	plan, err := common.Plan()
 	if err != nil {
@@ -127,17 +132,21 @@ func main() {
 		expStart := time.Now()
 		res, err := e.run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			log.Error("experiment failed", "experiment", e.name, "error", err)
 			os.Exit(1)
 		}
+		log.Debug("experiment done", "experiment", e.name,
+			"wall_s", time.Since(expStart).Seconds())
 		ran = append(ran, e.name)
 		fmt.Printf("=== %s (%.1fs) ===\n%s\n", e.name, time.Since(expStart).Seconds(), res)
 	}
 
 	c := r.Counters()
 	if common.Verbose {
-		fmt.Fprintf(os.Stderr, "runner: %d distinct runs (%d fresh, %d from disk cache), %d memo hits, %d workers, %.1fs\n",
-			c.Fresh+c.DiskHits, c.Fresh, c.DiskHits, c.MemHits, common.Workers, time.Since(start).Seconds())
+		log.Info("runner summary",
+			"runs", c.Fresh+c.DiskHits, "fresh", c.Fresh, "disk_hits", c.DiskHits,
+			"memo_hits", c.MemHits, "workers", common.Workers,
+			"wall_s", time.Since(start).Seconds())
 		fmt.Fprint(os.Stderr, experiments.AggregateMetrics(r.Manifests()).String())
 	}
 	if *jsonPath != "" {

@@ -53,6 +53,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	log, err := common.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	if *replay != "" {
 		os.Exit(runReplay(*replay))
 	}
@@ -103,7 +109,7 @@ func main() {
 		cfg.Progress = common.Progress()
 		res, err := crashfuzz.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s/%s: %v\n", p.Suite, p.Name, err)
+			log.Error("campaign failed", "suite", p.Suite, "app", p.Name, "error", err)
 			os.Exit(2)
 		}
 		results = append(results, res)

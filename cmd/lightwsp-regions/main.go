@@ -16,19 +16,27 @@ import (
 	"strings"
 
 	"lightwsp"
+	"lightwsp/internal/cli"
 	"lightwsp/internal/stats"
 	"lightwsp/internal/workload"
 )
 
 func main() {
+	var common cli.Common
+	common.RegisterLogging(flag.CommandLine)
 	suite := flag.String("suite", "CPU2006", "benchmark suite")
 	app := flag.String("app", "hmmer", "application name")
 	thresholds := flag.String("thresholds", "16,32,64", "store thresholds to compare")
 	disasm := flag.Bool("disasm", false, "print the instrumented assembly (default threshold)")
 	flag.Parse()
+	log, err := common.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightwsp-regions:", err)
+		os.Exit(2)
+	}
 
 	if err := run(*suite, *app, *thresholds, *disasm); err != nil {
-		fmt.Fprintln(os.Stderr, "lightwsp-regions:", err)
+		log.Error("region dump failed", "suite", *suite, "app", *app, "error", err)
 		os.Exit(1)
 	}
 }

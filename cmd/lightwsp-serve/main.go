@@ -8,7 +8,14 @@
 // Requests beyond the worker pool plus queue get 429 with Retry-After. On
 // SIGTERM/SIGINT the server drains: /healthz flips to 503, new work is
 // refused, in-flight requests finish (bounded by -drain-timeout), the
-// cache manifest is flushed, and the process exits 0.
+// cache manifest is flushed, and the process exits 0. If the drain deadline
+// fires with runs still executing, each victim's flight recorder dumps its
+// final probe events to the flight directory first.
+//
+// Telemetry: structured access and lifecycle logs on stderr (-log-level,
+// -log-format), a Prometheus exposition at /metrics, per-request trace IDs
+// (X-LightWSP-Trace) threaded into manifests and timeline exports, and an
+// optional loopback-only -debug-addr serving net/http/pprof plus /metrics.
 package main
 
 import (
@@ -16,9 +23,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,11 +47,22 @@ func main() {
 			"default per-request deadline (0: unbounded; requests may set timeout_ms)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
 			"how long graceful shutdown waits for in-flight requests")
+		flightDir = flag.String("flight-dir", "",
+			"flight-recorder dump directory (default <cache>/flightrec when -cache is set)")
+		timelineDir = flag.String("timeline-dir", "",
+			"export a Chrome trace-event timeline per fresh run into this directory")
+		debugAddr = flag.String("debug-addr", "",
+			"loopback-only debug listener serving net/http/pprof and /metrics, e.g. 127.0.0.1:6060")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected arguments %v\n", flag.Args())
 		flag.Usage()
+		os.Exit(2)
+	}
+	log, err := common.Logger()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lightwsp-serve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -51,34 +72,84 @@ func main() {
 		CacheDir:       common.CacheDir,
 		RequestTimeout: *timeout,
 		Progress:       common.Progress(),
+		Logger:         log,
+		FlightDir:      *flightDir,
+		TimelineDir:    *timelineDir,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		if !loopbackAddr(*debugAddr) {
+			fmt.Fprintf(os.Stderr, "lightwsp-serve: -debug-addr %q is not loopback-only (use 127.0.0.1:PORT or [::1]:PORT)\n", *debugAddr)
+			os.Exit(2)
+		}
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: debugMux(srv)}
+		go func() {
+			log.Info("debug listener up", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("debug listener failed", "error", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "lightwsp-serve: listening on %s (%d workers)\n", *addr, common.Workers)
+		log.Info("listening", "addr", *addr, "workers", common.Workers,
+			"queue", *queue, "cache", common.CacheDir)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, err)
+		log.Error("serve failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "lightwsp-serve: draining")
+	log.Info("signal received; draining")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "lightwsp-serve: %v\n", err)
+		log.Warn("drain incomplete", "error", err)
 	}
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "lightwsp-serve: shutdown: %v\n", err)
+		log.Warn("shutdown", "error", err)
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	<-errc // ListenAndServe has returned http.ErrServerClosed
-	fmt.Fprintln(os.Stderr, "lightwsp-serve: done")
+	log.Info("done")
+}
+
+// debugMux is the loopback-only diagnostics surface: the four standard pprof
+// handlers plus the same Prometheus exposition the public mux serves, so an
+// operator on the box can profile and scrape without touching the API port.
+func debugMux(srv *server.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.MetricsHandler())
+	return mux
+}
+
+// loopbackAddr reports whether addr binds a loopback interface only — the
+// pprof surface must never face the network.
+func loopbackAddr(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return false
+	}
+	if strings.EqualFold(host, "localhost") {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"lightwsp"
+	"lightwsp/internal/cli"
 	"lightwsp/internal/metrics"
 	"lightwsp/internal/probe"
 	"lightwsp/internal/recovery"
@@ -27,6 +28,8 @@ import (
 )
 
 func main() {
+	var common cli.Common
+	common.RegisterLogging(flag.CommandLine)
 	suite := flag.String("suite", "CPU2006", "benchmark suite (CPU2006, CPU2017, STAMP, NPB, SPLASH3, WHISPER)")
 	app := flag.String("app", "hmmer", "application name within the suite")
 	failAt := flag.Float64("fail-at", 0.5, "power-failure point as a fraction of the run")
@@ -36,9 +39,14 @@ func main() {
 	timeline := flag.String("timeline", "", "write the clean run's cycle-level timeline as Chrome trace-event JSON (load in Perfetto)")
 	showMetrics := flag.Bool("metrics", false, "print the clean run's probe-metrics counters and histograms")
 	flag.Parse()
+	log, err := common.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lightwsp:", err)
+		os.Exit(2)
+	}
 
 	if err := run(*suite, *app, *failAt, *threads, *verbose, *traceOrder, *timeline, *showMetrics); err != nil {
-		fmt.Fprintln(os.Stderr, "lightwsp:", err)
+		log.Error("run failed", "suite", *suite, "app", *app, "error", err)
 		os.Exit(1)
 	}
 }

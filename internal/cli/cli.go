@@ -1,6 +1,7 @@
 // Package cli holds the flag and environment plumbing every lightwsp command
 // shares: worker-pool sizing (-j), the persistent result cache (-cache),
-// verbosity (-v) and the persist-fabric fault plan (-faults/-fault-seed).
+// verbosity (-v), the persist-fabric fault plan (-faults/-fault-seed) and
+// structured logging (-log-level/-log-format).
 // Before this package each binary re-declared the same five flags with
 // subtly different defaults; now the flags, their env-var fallbacks and the
 // construction of the configured Runner/Pool/BlobCache live in one place,
@@ -10,12 +11,14 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strconv"
 
 	"lightwsp/internal/experiments"
 	"lightwsp/internal/faults"
+	"lightwsp/internal/obs"
 )
 
 // Environment fallbacks for the shared flags: each flag's default comes from
@@ -32,6 +35,10 @@ const (
 	FaultsEnv = "LIGHTWSP_FAULTS"
 	// FaultSeedEnv supplies the default fault-plan seed (-fault-seed).
 	FaultSeedEnv = "LIGHTWSP_FAULT_SEED"
+	// LogLevelEnv supplies the default structured-log level (-log-level).
+	LogLevelEnv = "LIGHTWSP_LOG_LEVEL"
+	// LogFormatEnv supplies the default structured-log format (-log-format).
+	LogFormatEnv = "LIGHTWSP_LOG_FORMAT"
 )
 
 // Common is the resolved shared configuration. Zero value + Register +
@@ -51,6 +58,10 @@ type Common struct {
 	FaultSpec string
 	// FaultSeed seeds the fault plan's hashed decisions.
 	FaultSeed int64
+	// LogLevel is the structured-log threshold: debug, info, warn or error.
+	LogLevel string
+	// LogFormat selects slog output encoding: "text" or "json".
+	LogFormat string
 }
 
 // Register installs the shared flags on fs with their environment-derived
@@ -67,6 +78,22 @@ func (c *Common) Register(fs *flag.FlagSet) {
 			"(empty/none: perfect fabric; defaults to $"+FaultsEnv+")")
 	fs.Int64Var(&c.FaultSeed, "fault-seed", envInt64(FaultSeedEnv, 1),
 		"seed for the fault plan's hashed decisions (default $"+FaultSeedEnv+" or 1)")
+	c.RegisterLogging(fs)
+}
+
+// RegisterLogging installs just the structured-logging flags — for binaries
+// (lightwsp, lightwsp-regions) that want -log-level/-log-format without the
+// pool/cache/fault knobs. Register calls it, so most binaries get both.
+func (c *Common) RegisterLogging(fs *flag.FlagSet) {
+	fs.StringVar(&c.LogLevel, "log-level", envOr(LogLevelEnv, "info"),
+		"structured-log level: debug, info, warn, error (default $"+LogLevelEnv+" or info)")
+	fs.StringVar(&c.LogFormat, "log-format", envOr(LogFormatEnv, "text"),
+		"structured-log format: text or json (default $"+LogFormatEnv+" or text)")
+}
+
+// Logger builds the stderr slog.Logger the flags describe.
+func (c *Common) Logger() (*slog.Logger, error) {
+	return obs.NewLogger(os.Stderr, c.LogLevel, c.LogFormat)
 }
 
 // Plan parses and seeds the fault plan.
@@ -107,6 +134,13 @@ func (c *Common) BlobCache() *experiments.BlobCache {
 		return nil
 	}
 	return experiments.NewBlobCache(c.CacheDir)
+}
+
+func envOr(name, def string) string {
+	if v := os.Getenv(name); v != "" {
+		return v
+	}
+	return def
 }
 
 func envInt(name string, def int) int {

@@ -80,3 +80,32 @@ func TestProgressNilUnlessVerbose(t *testing.T) {
 		t.Fatalf("pool size %d, want %d", p.Size(), c.Workers)
 	}
 }
+
+func TestLoggingFlags(t *testing.T) {
+	// Defaults: info level, text format.
+	c := parse(t)
+	if c.LogLevel != "info" || c.LogFormat != "text" {
+		t.Fatalf("log defaults: %+v", c)
+	}
+	if _, err := c.Logger(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Env supplies defaults, flags override env.
+	t.Setenv(LogLevelEnv, "debug")
+	t.Setenv(LogFormatEnv, "json")
+	c = parse(t)
+	if c.LogLevel != "debug" || c.LogFormat != "json" {
+		t.Fatalf("log env defaults not honored: %+v", c)
+	}
+	c = parse(t, "-log-level", "warn", "-log-format", "text")
+	if c.LogLevel != "warn" || c.LogFormat != "text" {
+		t.Fatalf("log flags did not override env: %+v", c)
+	}
+
+	// An invalid value surfaces when the logger is built, not at parse time.
+	c = parse(t, "-log-level", "shouty")
+	if _, err := c.Logger(); err == nil {
+		t.Fatal("invalid -log-level should error from Logger()")
+	}
+}

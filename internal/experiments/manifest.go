@@ -33,6 +33,12 @@ type RunManifest struct {
 	// produced the result (empty outside a git checkout). A cached entry
 	// keeps the revision that simulated it, not the one that loaded it.
 	GitDescribe string `json:"git_describe,omitempty"`
+	// TraceID ties the run back to the request that resolved it (the
+	// serving layer's X-LightWSP-Trace identity; empty for CLI runs). Like
+	// Source and WallSeconds it describes this invocation's resolution:
+	// a disk-cache hit carries the loading request's ID, not the one that
+	// originally simulated.
+	TraceID string `json:"trace_id,omitempty"`
 	// Metrics is the run's full probe-metrics snapshot; its histograms
 	// carry mergeable buckets, so per-run snapshots aggregate exactly.
 	Metrics metrics.Snapshot `json:"metrics"`

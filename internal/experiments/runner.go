@@ -40,6 +40,7 @@ import (
 	"lightwsp/internal/core"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/metrics"
+	"lightwsp/internal/obs"
 	"lightwsp/internal/probe"
 	"lightwsp/internal/workload"
 	"lightwsp/internal/wsperr"
@@ -242,6 +243,20 @@ func (r *Runner) Manifests() []RunManifest {
 	return out
 }
 
+// ManifestByHash returns the provenance record whose KeyHash matches, if this
+// process resolved such a run. The serving layer uses it to enrich run
+// lifecycle logs and the /v1/debug/run endpoint.
+func (r *Runner) ManifestByHash(hash string) (RunManifest, bool) {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	for _, m := range r.s.manifests {
+		if m.KeyHash == hash {
+			return m, true
+		}
+	}
+	return RunManifest{}, false
+}
+
 func (s *runnerState) noteManifest(key string, m RunManifest) {
 	s.mu.Lock()
 	s.manifests[key] = m
@@ -368,8 +383,12 @@ func (r *Runner) Run(p workload.Profile, sch machine.Scheme, ccfg compiler.Confi
 	} else {
 		// First caller for this key: start the run under its own detached
 		// context so it outlives any single waiter, then wait like everyone
-		// else. cancel fires when the last waiter gives up.
-		execCtx, cancel := context.WithCancel(context.Background())
+		// else. cancel fires when the last waiter gives up. The detachment
+		// drops the caller's context values, so the telemetry identity —
+		// trace ID, flight recorder — is carried across explicitly; that is
+		// how a served run's manifest, timeline and flight dump all end up
+		// tagged with the first requester's X-LightWSP-Trace ID.
+		execCtx, cancel := context.WithCancel(obs.CarryTelemetry(context.Background(), r.ctx))
 		fl = &inflightRun{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		s.inflight[key] = fl
 		pool := s.pool()
@@ -430,6 +449,7 @@ func (s *runnerState) execute(ctx context.Context, key string, p workload.Profil
 		if st, man, ok := s.disk.load(key, hash); ok {
 			man.Source = "cached"
 			man.WallSeconds = time.Since(start).Seconds()
+			man.TraceID = obs.TraceID(ctx)
 			s.noteManifest(key, man)
 			s.progressLine(p, sch, hash, "cached", time.Since(start), st)
 			return st, true, nil
@@ -449,6 +469,7 @@ func (s *runnerState) execute(ctx context.Context, key string, p workload.Profil
 		WallSeconds:   time.Since(start).Seconds(),
 		Cycles:        st.Cycles,
 		GitDescribe:   gitDescribe(),
+		TraceID:       obs.TraceID(ctx),
 		Metrics:       snap,
 	}
 	if s.disk != nil {
@@ -499,13 +520,21 @@ func simulate(ctx context.Context, p workload.Profile, sch machine.Scheme, cfg m
 		return nil, metrics.Snapshot{}, err
 	}
 	m := metrics.New()
+	// The sink stack: the per-run metrics accumulator always rides along;
+	// a request-scoped flight recorder (obs.WithRecorder) and a timeline
+	// buffer join it when asked for. probe.Multi collapses the common
+	// metrics-only case back to a single direct sink.
+	sinks := []probe.Sink{m}
+	if rec := obs.Recorder(ctx); rec != nil {
+		sinks = append(sinks, rec)
+	}
 	var tl *probe.Timeline
 	if timelinePath != "" {
 		tl = probe.NewTimeline(0)
-		sys.SetProbeSink(probe.Multi(m, tl))
-	} else {
-		sys.SetProbeSink(m)
+		tl.TraceID = obs.TraceID(ctx)
+		sinks = append(sinks, tl)
 	}
+	sys.SetProbeSink(probe.Multi(sinks...))
 	if err := sys.RunContext(ctx, MaxRunCycles); err != nil {
 		return nil, metrics.Snapshot{}, fmt.Errorf("%s/%s under %s: %w", p.Suite, p.Name, sch.Name, err)
 	}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+
+	"lightwsp/internal/probe"
+)
+
+// TestConcurrentEmitThenMerge exercises the aggregation contract under the
+// race detector: a Metrics is single-goroutine (each simulation drives its
+// own), and concurrency happens at the Snapshot/Merge layer — many runs
+// snapshotting concurrently and merging into one shared accumulator under a
+// mutex, exactly how the server aggregates per-run manifests. The merged
+// totals must equal a sequential pass over the same events.
+func TestConcurrentEmitThenMerge(t *testing.T) {
+	const (
+		workers       = 8
+		eventsPerEach = 5000
+	)
+	emitAll := func(m *Metrics, seed int) {
+		for i := 0; i < eventsPerEach; i++ {
+			c := (seed + i) % 4
+			m.Emit(probe.Event{Kind: probe.RegionOpen, Core: c, Cycle: uint64(i)})
+			m.Emit(probe.Event{Kind: probe.RegionClose, Core: c, Cycle: uint64(i + seed), Arg: uint64(i % 9)})
+			m.Emit(probe.Event{Kind: probe.WPQEnqueue, MC: c % 2})
+			m.Emit(probe.Event{Kind: probe.WPQFlush, MC: c % 2, Arg: uint64(i % 17)})
+		}
+	}
+
+	// Concurrent: one Metrics per worker, snapshots merged under a mutex.
+	agg := New()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := New()
+			emitAll(m, w)
+			snap := m.Snapshot()
+			mu.Lock()
+			agg.Merge(snap)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	// Sequential reference over the identical event stream.
+	ref := New()
+	for w := 0; w < workers; w++ {
+		emitAll(ref, w)
+	}
+
+	got, want := agg.Snapshot(), ref.Snapshot()
+	if got.Events != want.Events || got.RegionsClosed != want.RegionsClosed ||
+		got.Enqueues != want.Enqueues || got.Flushes != want.Flushes {
+		t.Fatalf("counter mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	for _, h := range []struct {
+		name      string
+		got, want HistSnapshot
+	}{
+		{"RegionStores", got.RegionStores, want.RegionStores},
+		{"WPQOccupancy", got.WPQOccupancy, want.WPQOccupancy},
+	} {
+		if h.got.Count != h.want.Count || h.got.Sum != h.want.Sum || h.got.Max != h.want.Max {
+			t.Fatalf("%s mismatch: got count=%d sum=%d max=%d, want count=%d sum=%d max=%d",
+				h.name, h.got.Count, h.got.Sum, h.got.Max, h.want.Count, h.want.Sum, h.want.Max)
+		}
+		if len(h.got.Buckets) != len(h.want.Buckets) {
+			t.Fatalf("%s bucket lengths differ: %d vs %d", h.name, len(h.got.Buckets), len(h.want.Buckets))
+		}
+		for i := range h.got.Buckets {
+			if h.got.Buckets[i] != h.want.Buckets[i] {
+				t.Fatalf("%s bucket %d: got %d, want %d", h.name, i, h.got.Buckets[i], h.want.Buckets[i])
+			}
+		}
+	}
+	// Region residency depends on per-core open/close pairing, which the
+	// seeded cycle offsets make deterministic per worker; the merged count
+	// must still match exactly.
+	if got.RegionResidency.Count != want.RegionResidency.Count {
+		t.Fatalf("RegionResidency count: got %d, want %d",
+			got.RegionResidency.Count, want.RegionResidency.Count)
+	}
+}

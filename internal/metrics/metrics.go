@@ -112,6 +112,11 @@ type HistSnapshot struct {
 	Buckets []uint64 `json:"buckets,omitempty"`
 }
 
+// SnapHistogram freezes a raw stats.Histogram into the snapshot form — for
+// consumers outside the probe pipeline (the server's request-latency
+// histograms) that want the same Prometheus rendering as the probe families.
+func SnapHistogram(h *stats.Histogram) HistSnapshot { return snapHist(h) }
+
 func snapHist(h *stats.Histogram) HistSnapshot {
 	return HistSnapshot{
 		Count:   h.Count,

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"lightwsp/internal/stats"
+)
+
+// This file is the hand-rolled Prometheus text-format exposition layer
+// (version 0.0.4 — the format every scraper speaks). The repo takes no
+// dependencies, so instead of client_golang there is a small writer that
+// knows the three shapes the harness needs: counters, gauges and native
+// histograms rendered from the log-2 stats.Histogram buckets. The server's
+// /metrics endpoint composes its families with WriteProm's probe families
+// through the same writer, so escaping and formatting rules live here once.
+
+// Label is one name="value" pair on a sample.
+type Label struct{ Name, Value string }
+
+// Prom writes Prometheus text-format exposition. Families must be declared
+// (Family) before their samples; the writer enforces one HELP/TYPE block per
+// family name. Errors are sticky — check Err once at the end.
+type Prom struct {
+	w        io.Writer
+	declared map[string]bool
+	err      error
+}
+
+// NewProm returns a writer emitting onto w.
+func NewProm(w io.Writer) *Prom {
+	return &Prom{w: w, declared: map[string]bool{}}
+}
+
+// Err returns the first write error, if any.
+func (p *Prom) Err() error { return p.err }
+
+func (p *Prom) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family declares a metric family: its HELP and TYPE header lines. typ is
+// "counter", "gauge" or "histogram". Declaring the same family twice is a
+// bug in the caller; the writer records it as an error rather than emitting
+// an exposition scrapers reject.
+func (p *Prom) Family(name, typ, help string) {
+	if p.declared[name] {
+		if p.err == nil {
+			p.err = fmt.Errorf("metrics: family %q declared twice", name)
+		}
+		return
+	}
+	p.declared[name] = true
+	if help != "" {
+		p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	}
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line for a declared family.
+func (p *Prom) Sample(name string, labels []Label, v float64) {
+	if !p.declared[name] && p.err == nil {
+		p.err = fmt.Errorf("metrics: sample for undeclared family %q", name)
+		return
+	}
+	p.printf("%s%s %s\n", name, renderLabels(labels), formatValue(v))
+}
+
+// Histogram emits the _bucket/_sum/_count series of one log-2 histogram
+// snapshot under a declared histogram family. Bucket bounds are the log-2
+// bucket upper bounds (0, 1, 3, 7, ...), cumulative per the exposition
+// contract, with the mandatory le="+Inf" terminal bucket.
+func (p *Prom) Histogram(name string, labels []Label, h HistSnapshot) {
+	if !p.declared[name] && p.err == nil {
+		p.err = fmt.Errorf("metrics: histogram for undeclared family %q", name)
+		return
+	}
+	bucketLabels := func(le string) string {
+		ls := make([]Label, len(labels)+1)
+		copy(ls, labels)
+		ls[len(labels)] = Label{"le", le}
+		return renderLabels(ls)
+	}
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if c == 0 && i != 0 {
+			// Empty buckets add nothing: cumulative counts repeat, so
+			// skipping them keeps the exposition proportional to the data
+			// while staying valid (le bounds need not be dense).
+			continue
+		}
+		p.printf("%s_bucket%s %d\n", name, bucketLabels(strconv.FormatUint(stats.BucketUpper(i), 10)), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, bucketLabels("+Inf"), h.Count)
+	p.printf("%s_sum%s %d\n", name, renderLabels(labels), h.Sum)
+	p.printf("%s_count%s %d\n", name, renderLabels(labels), h.Count)
+}
+
+// renderLabels renders {a="b",c="d"}, or "" for no labels.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline (quotes are fine).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value: integers exactly (counters routinely
+// exceed float64-precision territory in spirit if not in practice), floats
+// in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// counterFamily is one probe counter's exposition mapping.
+type counterFamily struct {
+	name string
+	help string
+	v    func(Snapshot) uint64
+}
+
+var probeCounters = []counterFamily{
+	{"probe_events_total", "Probe events observed across all resolved runs.", func(s Snapshot) uint64 { return s.Events }},
+	{"regions_closed_total", "Persistence regions closed at a boundary.", func(s Snapshot) uint64 { return s.RegionsClosed }},
+	{"boundary_broadcasts_total", "Boundary entries broadcast to every memory controller.", func(s Snapshot) uint64 { return s.Boundaries }},
+	{"boundary_acks_total", "Boundary ACKs received by controllers.", func(s Snapshot) uint64 { return s.BoundaryAcks }},
+	{"wpq_enqueues_total", "Entries enqueued into write-pending queues.", func(s Snapshot) uint64 { return s.Enqueues }},
+	{"wpq_flushes_total", "WPQ entries flushed to persistent memory.", func(s Snapshot) uint64 { return s.Flushes }},
+	{"wpq_overflows_total", "Deadlock-escape activations (WPQ overflow).", func(s Snapshot) uint64 { return s.Overflows }},
+	{"wpq_undo_writes_total", "Undo-log pre-image writes on the escape path.", func(s Snapshot) uint64 { return s.UndoWrites }},
+	{"feb_stall_bursts_total", "Completed front-end-buffer back-pressure bursts.", func(s Snapshot) uint64 { return s.StallBursts }},
+	{"snoop_hits_total", "L1 victim-selection snoops that hit a front-end buffer entry.", func(s Snapshot) uint64 { return s.SnoopHits }},
+	{"power_fails_total", "Power failures injected.", func(s Snapshot) uint64 { return s.PowerFails }},
+	{"recoveries_total", "Machines booted from a crash image.", func(s Snapshot) uint64 { return s.Recoveries }},
+	{"fabric_retries_total", "Boundary replays retransmitted over the persist fabric.", func(s Snapshot) uint64 { return s.Retries }},
+	{"fabric_dup_suppressed_total", "Duplicate fabric ACKs absorbed idempotently.", func(s Snapshot) uint64 { return s.DupSuppressed }},
+	{"mc_degradations_total", "Memory controllers degraded to undo-logged eager persist.", func(s Snapshot) uint64 { return s.Degradations }},
+}
+
+// histFamily is one probe histogram's exposition mapping.
+type histFamily struct {
+	name string
+	help string
+	h    func(Snapshot) HistSnapshot
+}
+
+var probeHists = []histFamily{
+	{"region_stores", "Dynamic stores per closed region (log-2 buckets).", func(s Snapshot) HistSnapshot { return s.RegionStores }},
+	{"region_residency_cycles", "Open-to-close cycles per region (log-2 buckets).", func(s Snapshot) HistSnapshot { return s.RegionResidency }},
+	{"wpq_occupancy_at_flush", "WPQ occupancy sampled at each flush (log-2 buckets).", func(s Snapshot) HistSnapshot { return s.WPQOccupancy }},
+	{"feb_stall_burst_cycles", "FEB back-pressure burst lengths in cycles (log-2 buckets).", func(s Snapshot) HistSnapshot { return s.StallBurst }},
+}
+
+// WriteProm renders the snapshot as Prometheus text-format families on p,
+// each name prefixed (conventionally "lightwsp_"). Counters become counter
+// families; the log-2 histograms become native histogram families whose
+// `le` bounds are the bucket upper bounds.
+func (s Snapshot) WriteProm(p *Prom, prefix string) {
+	for _, c := range probeCounters {
+		name := prefix + c.name
+		p.Family(name, "counter", c.help)
+		p.Sample(name, nil, float64(c.v(s)))
+	}
+	for _, h := range probeHists {
+		name := prefix + h.name
+		p.Family(name, "histogram", h.help)
+		p.Histogram(name, nil, h.h(s))
+	}
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lightwsp/internal/probe"
+	"lightwsp/internal/stats"
+)
+
+// Exposition-format line shapes (text format 0.0.4).
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (NaN|[-+]?[0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[-+]?Inf)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// parseExposition validates an exposition line by line: every line is a
+// HELP, a TYPE or a sample; every sample's family (stripping the histogram
+// _bucket/_sum/_count suffixes) was TYPE-declared before it; no family is
+// declared twice. It returns the samples by full series name.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	declared := map[string]bool{}
+	samples := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Fatalf("line %d: bad HELP line %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad TYPE line %q", i+1, line)
+			}
+			if declared[m[1]] {
+				t.Fatalf("line %d: family %s declared twice", i+1, m[1])
+			}
+			declared[m[1]] = true
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad sample line %q", i+1, line)
+			}
+			name := m[1]
+			family := name
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if base := strings.TrimSuffix(name, suf); base != name && declared[base] {
+					family = base
+					break
+				}
+			}
+			if !declared[family] {
+				t.Fatalf("line %d: sample %q precedes its TYPE declaration", i+1, name)
+			}
+			if labels := m[2]; labels != "" {
+				for _, l := range splitLabels(labels) {
+					if !labelRe.MatchString(l) {
+						t.Fatalf("line %d: bad label %q", i+1, l)
+					}
+				}
+			}
+			v, err := strconv.ParseFloat(m[len(m)-2], 64)
+			if err == nil {
+				samples[name+m[2]] = v
+			}
+		}
+	}
+	return samples
+}
+
+// splitLabels splits `{a="b",c="d"}` into pairs, respecting escaped quotes.
+func splitLabels(s string) []string {
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	var out []string
+	depth := false // inside a quoted value
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestWritePromParses drives a real metrics snapshot through the exposition
+// writer and validates it line by line — the golden-shape test behind the
+// server's /metrics endpoint.
+func TestWritePromParses(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		m.Emit(probe.Event{Kind: probe.RegionOpen, Core: 0, Cycle: uint64(i)})
+		m.Emit(probe.Event{Kind: probe.RegionClose, Core: 0, Cycle: uint64(i + 10), Arg: uint64(i % 7)})
+		m.Emit(probe.Event{Kind: probe.WPQFlush, MC: i % 2, Arg: uint64(i % 5)})
+	}
+	var buf bytes.Buffer
+	p := NewProm(&buf)
+	m.Snapshot().WriteProm(p, "lightwsp_")
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+
+	if got := samples["lightwsp_regions_closed_total"]; got != 100 {
+		t.Fatalf("regions_closed_total = %g, want 100", got)
+	}
+	// The histogram contract: the +Inf bucket equals _count, and the
+	// cumulative bucket counts are non-decreasing in le order.
+	if inf, count := samples[`lightwsp_region_stores_bucket{le="+Inf"}`], samples["lightwsp_region_stores_count"]; inf != count || count != 100 {
+		t.Fatalf("+Inf bucket %g, _count %g, want both 100", inf, count)
+	}
+	var prev float64 = -1
+	h := m.Snapshot().RegionStores
+	var cum uint64
+	for i, c := range h.Buckets {
+		cum += c
+		if c == 0 && i != 0 {
+			continue
+		}
+		le := strconv.FormatUint(stats.BucketUpper(i), 10)
+		got, ok := samples[`lightwsp_region_stores_bucket{le="`+le+`"}`]
+		if !ok {
+			t.Fatalf("missing bucket le=%s", le)
+		}
+		if got != float64(cum) {
+			t.Fatalf("bucket le=%s = %g, want cumulative %d", le, got, cum)
+		}
+		if got < prev {
+			t.Fatalf("bucket le=%s decreases: %g < %g", le, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProm(&buf)
+	p.Family("x_total", "counter", `help with \ backslash
+and newline`)
+	p.Sample("x_total", []Label{{Name: "path", Value: "a\"b\\c\nd"}}, 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `path="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %q", out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("raw newline leaked into exposition: %q", out)
+	}
+	parseExposition(t, out)
+}
+
+func TestPromWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProm(&buf)
+	p.Family("a_total", "counter", "")
+	p.Family("a_total", "counter", "")
+	if p.Err() == nil {
+		t.Fatal("double declaration should error")
+	}
+
+	p2 := NewProm(&buf)
+	p2.Sample("undeclared_total", nil, 1)
+	if p2.Err() == nil {
+		t.Fatal("undeclared sample should error")
+	}
+}
+
+func TestFormatValueIntegersExact(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{1e12, "1000000000000"},
+		{0.5, "0.5"},
+		{-3, "-3"},
+	} {
+		if got := formatValue(tc.v); got != tc.want {
+			t.Errorf("formatValue(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+import "context"
+
+// Context keys for the telemetry a request threads through the layers below
+// it. Unexported key types keep collisions impossible.
+type (
+	traceIDKey  struct{}
+	recorderKey struct{}
+)
+
+// WithTraceID returns ctx carrying the request's trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// WithRecorder returns ctx carrying a flight recorder for the layers below
+// to attach to their probe sinks.
+func WithRecorder(ctx context.Context, rec *FlightRecorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, rec)
+}
+
+// Recorder returns the flight recorder carried by ctx, or nil.
+func Recorder(ctx context.Context) *FlightRecorder {
+	rec, _ := ctx.Value(recorderKey{}).(*FlightRecorder)
+	return rec
+}
+
+// CarryTelemetry copies the telemetry values (trace ID, flight recorder)
+// from src onto dst. The experiments.Runner executes each distinct run under
+// a context detached from any single waiter — deliberately, so one impatient
+// client cannot cancel a shared simulation — and this is how the first
+// requester's identity survives the detachment.
+func CarryTelemetry(dst, src context.Context) context.Context {
+	if id := TraceID(src); id != "" {
+		dst = WithTraceID(dst, id)
+	}
+	if rec := Recorder(src); rec != nil {
+		dst = WithRecorder(dst, rec)
+	}
+	return dst
+}

@@ -1,0 +1,83 @@
+// Package obs is the serving layer's observability substrate: request/trace
+// identity, structured-logger construction, and the crash-safe flight
+// recorder. It sits below internal/server and beside internal/experiments —
+// the Runner carries a request's telemetry (trace ID, flight recorder)
+// across its detached execution context with CarryTelemetry, so a cycle-level
+// probe stream can always be tied back to the HTTP request that caused it.
+//
+// The package deliberately imports only internal/probe and the standard
+// library: probe emitters must never depend on it (the nil-sink fast path is
+// sacred), and every layer above — CLI, runner, server — can.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// TraceHeader is the HTTP header carrying the request's trace ID: honored on
+// requests (so callers and load balancers can pre-assign identity) and always
+// set on responses.
+const TraceHeader = "X-LightWSP-Trace"
+
+// NewTraceID returns a fresh 16-hex-character request identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant ID keeps the
+		// server up and the logs honest about it.
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a caller-supplied trace ID is safe to adopt:
+// short enough for log lines and label values, and free of characters that
+// would need escaping everywhere (only [A-Za-z0-9._-]).
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewLogger builds a slog.Logger writing to w at the given level ("debug",
+// "info", "warn", "error") in the given format ("text" or "json"). Empty
+// strings select the defaults (info, text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (text, json)", format)
+	}
+}

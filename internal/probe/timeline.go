@@ -26,6 +26,10 @@ type Timeline struct {
 	// carries the count in its metadata so a truncated timeline is visible
 	// as such.
 	Dropped uint64
+	// TraceID, when set, rides in the exported metadata so a timeline file
+	// can be correlated with the serving request (X-LightWSP-Trace) and the
+	// run manifest that produced it.
+	TraceID string
 }
 
 // NewTimeline returns a timeline keeping at most cap events
@@ -86,6 +90,9 @@ func (t *Timeline) WriteJSON(w io.Writer) error {
 			"events":         len(t.events),
 			"dropped-events": t.Dropped,
 		},
+	}
+	if t.TraceID != "" {
+		out.Metadata["trace-id"] = t.TraceID
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -8,7 +8,9 @@
 //
 //	GET  /healthz            liveness (503 while draining)
 //	GET  /stats              cache counters + admission statistics
+//	GET  /metrics            Prometheus text-format exposition
 //	GET  /v1/experiments     registry listing (name + description)
+//	GET  /v1/debug/run/{id}  a recent run's record by trace ID
 //	POST /v1/compile         static compilation statistics for a workload
 //	POST /v1/run             one cached simulation run
 //	POST /v1/run/stream      one fresh run, streaming NDJSON events
@@ -22,11 +24,19 @@
 // a request deadline that fires mid-simulation is 504; simulation-budget
 // failures (WPQ overflow, cycle budget) are 422; unrecoverable crash
 // images are 500; unknown workloads are 404 and unknown schemes 400.
+//
+// Telemetry: every request carries an X-LightWSP-Trace identity (honored
+// from the client when valid, generated otherwise, always echoed on the
+// response) that threads into access logs, run manifests, timeline exports
+// and the flight recorder — a bounded ring of each in-flight run's recent
+// probe events, dumped to disk when a run dies (error, deadline, panic, or
+// an interrupted drain).
 package server
 
 import (
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/crashfuzz"
+	"lightwsp/internal/experiments"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/metrics"
 )
@@ -156,6 +166,10 @@ type StatsResponse struct {
 	// Workers+QueueDepth requests are in flight at once.
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
+	// InFlight and Queued are the gate's live occupancy: requests currently
+	// executing and requests admitted but waiting for a worker.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
 	// Admitted/Completed count requests past the gate; RejectedBusy is
 	// 429s, RejectedDraining 503s.
 	Admitted         int64 `json:"admitted"`
@@ -166,6 +180,32 @@ type StatsResponse struct {
 	Draining bool `json:"draining"`
 	// Metrics aggregates every resolved run's probe metrics.
 	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+// DebugRunResponse is one /v1/debug/run/{id} record: a recent run's
+// identity, outcome and timing, the flight-dump path if one was written,
+// and the Runner's provenance manifest when the run key is known.
+type DebugRunResponse struct {
+	TraceID  string `json:"trace_id"`
+	Endpoint string `json:"endpoint"`
+	Suite    string `json:"suite,omitempty"`
+	App      string `json:"app,omitempty"`
+	Scheme   string `json:"scheme,omitempty"`
+	KeyHash  string `json:"key_hash,omitempty"`
+	// Source is the run's resolution provenance ("fresh" or "cached") when
+	// the manifest recorded it.
+	Source string `json:"source,omitempty"`
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+	// DurationMS is the request's total wall time; QueueWaitMS the portion
+	// spent waiting for a worker-pool slot (streaming/failure runs only).
+	DurationMS  float64 `json:"duration_ms"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// FlightDump is the path of the flight-recorder dump, when the run died
+	// badly enough to leave one.
+	FlightDump string                   `json:"flight_dump,omitempty"`
+	FinishedAt string                   `json:"finished_at"`
+	Manifest   *experiments.RunManifest `json:"manifest,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.

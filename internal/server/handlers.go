@@ -15,17 +15,25 @@ import (
 	"lightwsp/internal/workload"
 )
 
-// routes installs the API surface on the server's mux.
+// routes installs the API surface on the server's mux, every endpoint
+// wrapped in the instrument middleware (trace identity, panic recovery,
+// metrics, access logs). The readOnly flag keeps scrape/probe endpoints'
+// access lines at debug level.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
-	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/run/stream", s.handleRunStream)
-	s.mux.HandleFunc("POST /v1/run-with-failure", s.handleRunWithFailure)
-	s.mux.HandleFunc("POST /v1/crashfuzz", s.handleCrashfuzz)
-	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	handle := func(pattern, endpoint string, readOnly bool, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.instrument(endpoint, readOnly, h))
+	}
+	handle("GET /healthz", "/healthz", true, s.handleHealthz)
+	handle("GET /stats", "/stats", true, s.handleStats)
+	handle("GET /metrics", "/metrics", true, s.handleMetrics)
+	handle("GET /v1/experiments", "/v1/experiments", true, s.handleExperiments)
+	handle("GET /v1/debug/run/{id}", "/v1/debug/run", true, s.handleDebugRun)
+	handle("POST /v1/compile", "/v1/compile", false, s.handleCompile)
+	handle("POST /v1/run", "/v1/run", false, s.handleRun)
+	handle("POST /v1/run/stream", "/v1/run/stream", false, s.handleRunStream)
+	handle("POST /v1/run-with-failure", "/v1/run-with-failure", false, s.handleRunWithFailure)
+	handle("POST /v1/crashfuzz", "/v1/crashfuzz", false, s.handleCrashfuzz)
+	handle("POST /v1/experiment", "/v1/experiment", false, s.handleExperiment)
 }
 
 // handleHealthz is the liveness probe: 200 while serving, 503 once the
@@ -48,12 +56,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.drainMu.RUnlock()
 	c := s.runner.Counters()
+	inFlight, queued, _ := s.gaugeSnapshot()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		FreshRuns:        c.Fresh,
 		DiskCacheHits:    c.DiskHits,
 		MemCacheHits:     c.MemHits,
 		Workers:          s.cfg.Workers,
 		QueueDepth:       s.cfg.QueueDepth,
+		InFlight:         inFlight,
+		Queued:           queued,
 		Admitted:         s.admitted.Load(),
 		Completed:        s.completed.Load(),
 		RejectedBusy:     s.rejectedBusy.Load(),
@@ -121,16 +132,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
+	_, hash := experiments.CanonicalRunKey(p, sch, cfg, ccfg)
+	ri := reqInfoFrom(r.Context())
+	ri.suite, ri.app, ri.scheme, ri.keyHash = string(p.Suite), p.Name, sch.Name, hash
+
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, detach := s.attachFlight(ctx, ri)
+	defer detach()
 
 	st, err := s.runner.WithContext(ctx).Run(p, sch, compiler.Config{})
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
-	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
-	_, hash := experiments.CanonicalRunKey(p, sch, cfg, ccfg)
+	s.noteResolved(ri, hash)
 	writeJSON(w, http.StatusOK, RunResponse{
 		Suite:   string(p.Suite),
 		App:     p.Name,
@@ -138,6 +155,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		KeyHash: hash,
 		Stats:   *st,
 	})
+}
+
+// noteResolved enriches the request record with the run's provenance
+// manifest (resolution source, degradation warnings) once the Runner has
+// one. Joined waiters see the manifest of whoever resolved the run.
+func (s *Server) noteResolved(ri *reqInfo, hash string) {
+	man, ok := s.runner.ManifestByHash(hash)
+	if !ok {
+		return
+	}
+	ri.source = man.Source
+	s.log.Info("run resolved",
+		"trace", ri.traceID, "key", shortHash(hash),
+		"suite", ri.suite, "app", ri.app, "scheme", ri.scheme,
+		"source", man.Source, "cycles", man.Cycles,
+		"wall_s", man.WallSeconds, "resolved_by", man.TraceID)
+	if man.Metrics.Degradations > 0 {
+		s.log.Warn("memory controllers degraded during run",
+			"trace", ri.traceID, "key", shortHash(hash),
+			"degradations", man.Metrics.Degradations)
+	}
 }
 
 // handleCompile reports static compilation statistics without running
@@ -157,11 +195,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		ri.suite, ri.app = string(p.Suite), p.Name
+	}
 	ccfg := compiler.Config{StoreThreshold: req.StoreThreshold}
 	_, ccfg = experiments.ResolveConfigs(p, ccfg)
 	prog, err := workload.Build(p)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	res, err := compiler.Compile(prog, ccfg)
@@ -197,29 +238,37 @@ func (s *Server) handleRunWithFailure(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ri := reqInfoFrom(r.Context())
+	ri.suite, ri.app, ri.scheme = string(p.Suite), p.Name, core.Scheme().Name
+
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, detach := s.attachFlight(ctx, ri)
+	defer detach()
 
 	prog, err := workload.Build(p)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
-	rt, err := core.NewRuntimeFor(prog, ccfg, cfg, core.Scheme(), nil)
+	rt, err := core.NewRuntimeFor(prog, ccfg, cfg, core.Scheme(), ri.flight)
 	if err != nil {
+		ri.err = err
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 		return
 	}
 	var res *core.CrashResult
+	queued := time.Now()
 	if perr := s.pool.DoCtx(ctx, func() {
+		ri.queueWait = time.Since(queued)
 		res, err = rt.RunWithFailure(ctx, req.FailCycle, s.cfg.MaxRunCycles)
 	}); perr != nil {
-		writeErr(w, perr)
+		writeErr(w, r, perr)
 		return
 	}
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	rec := res.Recovered
@@ -250,6 +299,9 @@ func (s *Server) handleCrashfuzz(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		ri.suite, ri.app = string(p.Suite), p.Name
+	}
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
@@ -269,7 +321,7 @@ func (s *Server) handleCrashfuzz(w http.ResponseWriter, r *http.Request) {
 		Progress:            s.cfg.Progress,
 	})
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, CrashfuzzResponse{Result: res})
@@ -298,10 +350,13 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: fmt.Sprintf("unknown experiment %q", req.Name)})
 		return
 	}
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		ri.suite, ri.app = "experiment", req.Name
+	}
 	start := time.Now()
 	res, err := run()
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ExperimentResponse{

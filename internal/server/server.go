@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/obs"
 	"lightwsp/internal/wsperr"
 )
 
@@ -39,6 +41,15 @@ type Config struct {
 	MaxRunCycles uint64
 	// Progress, when non-nil, receives the runner's per-run progress lines.
 	Progress func(string)
+	// Logger receives the server's structured logs (access lines, run
+	// lifecycle, panics, flight-recorder dumps). Nil discards them.
+	Logger *slog.Logger
+	// FlightDir is where flight-recorder dumps land; empty defaults to
+	// CacheDir/flightrec when a cache directory is set, else dumps are off.
+	FlightDir string
+	// TimelineDir, when set, makes every fresh run export a Chrome
+	// trace-event timeline (tagged with the request's trace ID) there.
+	TimelineDir string
 }
 
 // Server is the HTTP serving layer over one process-wide Runner: every
@@ -72,6 +83,17 @@ type Server struct {
 	rejectedBusy     atomic.Int64
 	rejectedDraining atomic.Int64
 
+	// Telemetry plane: the structured logger, the /metrics state, the
+	// recent-run registry behind /v1/debug/run/{id}, and the flight-recorder
+	// bookkeeping (dump directory plus the registry of in-flight recorders a
+	// failed drain dumps before the process exits).
+	log           *slog.Logger
+	tel           *telemetry
+	runs          *runLog
+	flightDir     string
+	flightMu      sync.Mutex
+	activeFlights map[string]*obs.FlightRecorder
+
 	// hookAdmitted, when non-nil, runs after a request passes admission
 	// and before its handler body (test instrumentation).
 	hookAdmitted func(*http.Request)
@@ -89,13 +111,27 @@ func New(cfg Config) *Server {
 		cfg.MaxRunCycles = experiments.MaxRunCycles
 	}
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		cfg:           cfg,
+		sem:           make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		tel:           newTelemetry(),
+		runs:          newRunLog(),
+		activeFlights: map[string]*obs.FlightRecorder{},
+	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.flightDir = cfg.FlightDir
+	if s.flightDir == "" && cfg.CacheDir != "" {
+		s.flightDir = filepath.Join(cfg.CacheDir, "flightrec")
 	}
 	s.runner = experiments.NewRunner()
 	s.runner.SetWorkers(cfg.Workers)
 	s.runner.SetCacheDir(cfg.CacheDir)
 	s.runner.SetProgress(cfg.Progress)
+	if cfg.TimelineDir != "" {
+		s.runner.SetTimelineDir(cfg.TimelineDir)
+	}
 	s.pool = s.runner.Pool()
 	if cfg.CacheDir != "" {
 		s.blobs = experiments.NewBlobCache(cfg.CacheDir)
@@ -116,6 +152,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.drainMu.Lock()
 	s.draining = true
 	s.drainMu.Unlock()
+	s.log.Info("drain started")
 
 	done := make(chan struct{})
 	go func() {
@@ -125,8 +162,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// The drain deadline fired with runs still executing: before the
+		// process dies, every in-flight run's flight recorder dumps its
+		// final probe events so the interruption is diagnosable post-mortem.
+		n := s.dumpInflightFlights("drain-interrupted")
+		s.log.Warn("drain interrupted with work in flight", "flight_dumps", n)
 		return fmt.Errorf("server: drain interrupted with work in flight: %w", ctx.Err())
 	}
+	s.log.Info("drain complete")
 	return s.flush()
 }
 
@@ -174,6 +217,9 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	s.inflight.Add(1)
 	s.drainMu.RUnlock()
 	s.admitted.Add(1)
+	if ri := reqInfoFrom(r.Context()); ri != nil {
+		s.log.Debug("request admitted", "trace", ri.traceID, "endpoint", ri.endpoint)
+	}
 	if s.hookAdmitted != nil {
 		s.hookAdmitted(r)
 	}
@@ -207,8 +253,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-// writeErr maps a harness error onto its HTTP status and writes it.
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr maps a harness error onto its HTTP status, records it in the
+// request's telemetry scratchpad (so the access log and flight-recorder dump
+// see it), and writes it.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	if ri := reqInfoFrom(r.Context()); ri != nil && ri.err == nil {
+		ri.err = err
+	}
 	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 }
 

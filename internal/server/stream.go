@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
@@ -48,6 +49,9 @@ type streamEvent struct {
 	Error  string            `json:"error,omitempty"`
 	Stats  any               `json:"stats,omitempty"`
 	Metric *metrics.Snapshot `json:"metrics,omitempty"`
+	// Trace rides on the terminal line so a saved stream can be correlated
+	// with the access log and /v1/debug/run/{id} without the HTTP headers.
+	Trace string `json:"trace,omitempty"`
 }
 
 // streamSink writes milestone probe events straight onto the response
@@ -95,12 +99,17 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	ri := reqInfoFrom(r.Context())
+	ri.suite, ri.app, ri.scheme = string(p.Suite), p.Name, sch.Name
+
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	ctx, detach := s.attachFlight(ctx, ri)
+	defer detach()
 
 	prog, err := workload.Build(p)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	cfg, ccfg := experiments.ResolveConfigs(p, compiler.Config{})
@@ -114,18 +123,21 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 	m := metrics.New()
 
 	fail := func(err error) {
-		enc.Encode(streamEvent{Type: "error", Error: err.Error()})
+		ri.err = err
+		enc.Encode(streamEvent{Type: "error", Error: err.Error(), Trace: ri.traceID})
 		if flusher != nil {
 			flusher.Flush()
 		}
 	}
 
-	rt, err := core.NewRuntimeFor(prog, ccfg, cfg, sch, probe.Multi(m, ss))
+	rt, err := core.NewRuntimeFor(prog, ccfg, cfg, sch, probe.Multi(m, ss, ri.flight))
 	if err != nil {
 		fail(err)
 		return
 	}
+	queued := time.Now()
 	perr := s.pool.DoCtx(ctx, func() {
+		ri.queueWait = time.Since(queued)
 		var sys *machine.System
 		sys, err = rt.NewSystem()
 		if err != nil {
@@ -155,7 +167,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		snap := m.Snapshot()
 		enc.Encode(streamEvent{
 			Type: "stats", Cycle: sys.Cycle(),
-			Stats: sys.Stats, Metric: &snap,
+			Stats: sys.Stats, Metric: &snap, Trace: ri.traceID,
 		})
 		if flusher != nil {
 			flusher.Flush()

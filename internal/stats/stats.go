@@ -135,6 +135,11 @@ func (h *Histogram) Quantile(p float64) uint64 {
 	return h.Max
 }
 
+// BucketUpper is the largest value histogram bucket i holds: 0 for bucket 0,
+// 2^i - 1 otherwise. Exported for consumers that re-render the buckets —
+// the Prometheus exposition layer uses it as the `le` bound of each bucket.
+func BucketUpper(i int) uint64 { return bucketUpper(i) }
+
 // bucketUpper is the largest value bucket i holds.
 func bucketUpper(i int) uint64 {
 	if i == 0 {
