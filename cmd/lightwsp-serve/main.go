@@ -3,14 +3,24 @@
 // experiment endpoints over one process-wide result cache and worker pool,
 // so a fleet of clients shares simulations instead of re-running them.
 //
-//	lightwsp-serve -addr :8080 -j 8 -cache /var/cache/lightwsp
+//	lightwsp-serve -addr :8080 -j 8 -cache /var/cache/lightwsp \
+//	    -session-dir /var/lib/lightwsp/sessions -snapshot-every 500000
+//
+// With -session-dir the daemon also hosts durable sessions (/v1/session):
+// long-lived runs a client advances incrementally, journaled and
+// periodically snapshotted so they survive power loss and restarts — a
+// rebooted server replays the recovery protocol and reopens every session,
+// and clients resume their event streams byte-identically from the last
+// sequence number they saw.
 //
 // Requests beyond the worker pool plus queue get 429 with Retry-After. On
 // SIGTERM/SIGINT the server drains: /healthz flips to 503, new work is
-// refused, in-flight requests finish (bounded by -drain-timeout), the
-// cache manifest is flushed, and the process exits 0. If the drain deadline
+// refused, in-flight requests finish (bounded by -drain-timeout), every
+// open session takes a final durable snapshot (lossless drain), the cache
+// manifest is flushed, and the process exits 0. If the drain deadline
 // fires with runs still executing, each victim's flight recorder dumps its
-// final probe events to the flight directory first.
+// final probe events — tagged with the session ID when the victim was a
+// session operation — to the flight directory first.
 //
 // Telemetry: structured access and lifecycle logs on stderr (-log-level,
 // -log-format), a Prometheus exposition at /metrics, per-request trace IDs
@@ -39,6 +49,8 @@ import (
 func main() {
 	var common cli.Common
 	common.Register(flag.CommandLine)
+	var sessions cli.Sessions
+	sessions.Register(flag.CommandLine)
 	var (
 		addr  = flag.String("addr", ":8080", "listen address")
 		queue = flag.Int("queue", 0,
@@ -67,14 +79,17 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:        common.Workers,
-		QueueDepth:     *queue,
-		CacheDir:       common.CacheDir,
-		RequestTimeout: *timeout,
-		Progress:       common.Progress(),
-		Logger:         log,
-		FlightDir:      *flightDir,
-		TimelineDir:    *timelineDir,
+		Workers:          common.Workers,
+		QueueDepth:       *queue,
+		CacheDir:         common.CacheDir,
+		RequestTimeout:   *timeout,
+		Progress:         common.Progress(),
+		Logger:           log,
+		FlightDir:        *flightDir,
+		TimelineDir:      *timelineDir,
+		SessionDir:       sessions.Dir,
+		SnapshotEvery:    sessions.SnapshotEvery,
+		SnapshotInterval: sessions.SnapshotInterval,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -99,7 +114,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		log.Info("listening", "addr", *addr, "workers", common.Workers,
-			"queue", *queue, "cache", common.CacheDir)
+			"queue", *queue, "cache", common.CacheDir, "sessions", sessions.Dir)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

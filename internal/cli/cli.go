@@ -5,7 +5,9 @@
 // Before this package each binary re-declared the same five flags with
 // subtly different defaults; now the flags, their env-var fallbacks and the
 // construction of the configured Runner/Pool/BlobCache live in one place,
-// and lightwsp-serve reuses the identical knobs for its daemon.
+// and lightwsp-serve reuses the identical knobs for its daemon — plus the
+// Sessions group (-session-dir/-snapshot-every/-snapshot-interval) for its
+// durable-session store.
 package cli
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"time"
 
 	"lightwsp/internal/experiments"
 	"lightwsp/internal/faults"
@@ -39,6 +42,14 @@ const (
 	LogLevelEnv = "LIGHTWSP_LOG_LEVEL"
 	// LogFormatEnv supplies the default structured-log format (-log-format).
 	LogFormatEnv = "LIGHTWSP_LOG_FORMAT"
+	// SessionDirEnv supplies the default durable-session store (-session-dir).
+	SessionDirEnv = "LIGHTWSP_SESSION_DIR"
+	// SnapshotEveryEnv supplies the default session snapshot cadence in
+	// cycles (-snapshot-every).
+	SnapshotEveryEnv = "LIGHTWSP_SNAPSHOT_EVERY"
+	// SnapshotIntervalEnv supplies the default wall-clock forced-snapshot
+	// period (-snapshot-interval), in time.ParseDuration syntax.
+	SnapshotIntervalEnv = "LIGHTWSP_SNAPSHOT_INTERVAL"
 )
 
 // Common is the resolved shared configuration. Zero value + Register +
@@ -136,6 +147,37 @@ func (c *Common) BlobCache() *experiments.BlobCache {
 	return experiments.NewBlobCache(c.CacheDir)
 }
 
+// Sessions is the durable-session flag group (lightwsp-serve only): where
+// the session store lives and how often the server snapshots. Zero value +
+// Register + fs.Parse resolves it; an empty Dir leaves sessions disabled.
+type Sessions struct {
+	// Dir roots the session store (journals + snapshot blobs); empty
+	// disables the /v1/session endpoints (default: $LIGHTWSP_SESSION_DIR).
+	Dir string
+	// SnapshotEvery is the default snapshot cadence in session-total cycles
+	// for sessions created without one; 0 leaves cadence to each session's
+	// spec (default: $LIGHTWSP_SNAPSHOT_EVERY).
+	SnapshotEvery uint64
+	// SnapshotInterval, when positive, forces a durable snapshot of every
+	// idle session on this wall-clock period
+	// (default: $LIGHTWSP_SNAPSHOT_INTERVAL).
+	SnapshotInterval time.Duration
+}
+
+// Register installs the session flags on fs with their environment-derived
+// defaults.
+func (s *Sessions) Register(fs *flag.FlagSet) {
+	fs.StringVar(&s.Dir, "session-dir", os.Getenv(SessionDirEnv),
+		"durable-session store directory; sessions survive restarts and power loss "+
+			"(empty disables /v1/session; defaults to $"+SessionDirEnv+")")
+	fs.Uint64Var(&s.SnapshotEvery, "snapshot-every", envUint64(SnapshotEveryEnv, 0),
+		"default session snapshot cadence in cycles, for sessions that do not set one "+
+			"(0: per-session spec only; defaults to $"+SnapshotEveryEnv+")")
+	fs.DurationVar(&s.SnapshotInterval, "snapshot-interval", envDuration(SnapshotIntervalEnv, 0),
+		"force a durable snapshot of idle sessions this often, e.g. 30s "+
+			"(0 disables; defaults to $"+SnapshotIntervalEnv+")")
+}
+
 func envOr(name, def string) string {
 	if v := os.Getenv(name); v != "" {
 		return v
@@ -156,6 +198,24 @@ func envInt64(name string, def int64) int64 {
 	if v := os.Getenv(name); v != "" {
 		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
 			return n
+		}
+	}
+	return def
+}
+
+func envUint64(name string, def uint64) uint64 {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if v := os.Getenv(name); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+			return d
 		}
 	}
 	return def

@@ -3,6 +3,7 @@ package cli
 import (
 	"flag"
 	"testing"
+	"time"
 )
 
 // parse registers the shared flags on a fresh FlagSet and parses args.
@@ -78,6 +79,48 @@ func TestProgressNilUnlessVerbose(t *testing.T) {
 	}
 	if p := c.NewPool(); p.Size() != c.Workers {
 		t.Fatalf("pool size %d, want %d", p.Size(), c.Workers)
+	}
+}
+
+func TestSessionFlags(t *testing.T) {
+	parseSessions := func(args ...string) Sessions {
+		t.Helper()
+		var s Sessions
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		s.Register(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Defaults: sessions off, no cadence, no ticker.
+	s := parseSessions()
+	if s.Dir != "" || s.SnapshotEvery != 0 || s.SnapshotInterval != 0 {
+		t.Fatalf("zero defaults not honored: %+v", s)
+	}
+
+	// Env supplies defaults.
+	t.Setenv(SessionDirEnv, "/tmp/lw-sessions")
+	t.Setenv(SnapshotEveryEnv, "50000")
+	t.Setenv(SnapshotIntervalEnv, "45s")
+	s = parseSessions()
+	if s.Dir != "/tmp/lw-sessions" || s.SnapshotEvery != 50000 || s.SnapshotInterval != 45*time.Second {
+		t.Fatalf("env defaults not honored: %+v", s)
+	}
+
+	// Flags override env.
+	s = parseSessions("-session-dir", "/elsewhere", "-snapshot-every", "100", "-snapshot-interval", "2m")
+	if s.Dir != "/elsewhere" || s.SnapshotEvery != 100 || s.SnapshotInterval != 2*time.Minute {
+		t.Fatalf("flags did not override env: %+v", s)
+	}
+
+	// Garbage env values fall back to the zero defaults.
+	t.Setenv(SnapshotEveryEnv, "many")
+	t.Setenv(SnapshotIntervalEnv, "-5s")
+	s = parseSessions()
+	if s.SnapshotEvery != 0 || s.SnapshotInterval != 0 {
+		t.Fatalf("invalid env should fall back: %+v", s)
 	}
 }
 

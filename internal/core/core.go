@@ -140,6 +140,37 @@ func (rt *Runtime) RunToCompletion(maxCycles uint64) (*machine.System, error) {
 	return rt.Run(context.Background(), maxCycles)
 }
 
+// CheckpointResult is one planned power failure: the drain report, the
+// durable crash image, and the successor machine already recovered from it.
+type CheckpointResult struct {
+	// Report is the §IV-F drain summary.
+	Report machine.FailureReport
+	// Image is the persisted image exactly as the drain left it — cloned
+	// before recovery's undo rollback mutates the machine's copy, so it is
+	// byte-for-byte what a snapshot store should persist. Recovering from a
+	// deserialized copy of it reproduces System.
+	Image *mem.Image
+	// System is the recovered successor, resuming each thread at its latest
+	// persisted region boundary. The checkpointed machine is dead.
+	System *machine.System
+}
+
+// Checkpoint executes a planned power failure on sys: drain via the §IV-F
+// protocol, capture the durable crash image, and boot the recovered
+// successor. This is how a durable session snapshots a live machine — the
+// snapshot point is a real power-failure cut, so resuming from the stored
+// image later replays the identical trajectory the successor ran. sys is
+// dead afterwards; continue on the returned System.
+func (rt *Runtime) Checkpoint(sys *machine.System) (*CheckpointResult, error) {
+	rep := sys.PowerFail()
+	img := sys.PM().Clone()
+	rec, err := rt.Recover(sys.PM(), rep.RegionCounter)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointResult{Report: rep, Image: img, System: rec}, nil
+}
+
 // CrashResult reports one crash/recover round trip.
 type CrashResult struct {
 	// Failed is false if execution completed before the injection point

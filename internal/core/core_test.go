@@ -2,13 +2,16 @@ package core
 
 import (
 	"context"
-
+	"errors"
 	"testing"
 
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/isa"
 	"lightwsp/internal/machine"
+	"lightwsp/internal/mem"
+	"lightwsp/internal/probe"
 	"lightwsp/internal/recovery"
+	"lightwsp/internal/wsperr"
 )
 
 const maxCycles = 20_000_000
@@ -498,5 +501,107 @@ func TestConstPrunedAcrossCallResume(t *testing.T) {
 	}
 	if !pruned {
 		t.Log("note: limit register was not recipe-pruned in this layout")
+	}
+}
+
+// TestCheckpointSuccessorMatchesImportedRecovery is the durable-session
+// contract: a planned power failure's successor machine and a machine
+// recovered later from the serialized crash image must be indistinguishable
+// — same milestone events, same outputs, same final memory.
+func TestCheckpointSuccessorMatchesImportedRecovery(t *testing.T) {
+	rt := newRT(t, mixProg(), smallCfg())
+	clean, err := rt.Run(context.Background(), maxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := clean.Stats.Cycles / 3
+	if cut == 0 {
+		t.Fatalf("run too short: %d cycles", clean.Stats.Cycles)
+	}
+
+	sys, err := rt.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := sys.RunUntilContext(context.Background(), cut); err != nil || done {
+		t.Fatalf("pre-checkpoint run: done=%v err=%v", done, err)
+	}
+	res, err := rt.Checkpoint(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path A: continue on the checkpoint's own successor.
+	var evA []probe.Event
+	res.System.SetProbeSink(probe.SinkFunc(func(e probe.Event) {
+		if probe.MilestoneKind(e.Kind) {
+			evA = append(evA, e)
+		}
+	}))
+	if err := res.System.RunContext(context.Background(), maxCycles); err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: serialize the durable image, deserialize, recover, continue —
+	// what a restarted server does.
+	imported, err := mem.ImportImage(res.Image.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := rt.Recover(imported, res.Report.RegionCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evB []probe.Event
+	recB.SetProbeSink(probe.SinkFunc(func(e probe.Event) {
+		if probe.MilestoneKind(e.Kind) {
+			evB = append(evB, e)
+		}
+	}))
+	if err := recB.RunContext(context.Background(), maxCycles); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(evA) != len(evB) {
+		t.Fatalf("milestone counts diverge: %d vs %d", len(evA), len(evB))
+	}
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("milestone %d diverges: %+v vs %+v", i, evA[i], evB[i])
+		}
+	}
+	if len(res.System.Output) != len(recB.Output) {
+		t.Fatalf("output lengths diverge: %d vs %d", len(res.System.Output), len(recB.Output))
+	}
+	for i := range res.System.Output {
+		if res.System.Output[i] != recB.Output[i] {
+			t.Fatalf("output %d diverges", i)
+		}
+	}
+	if !res.System.PM().Equal(recB.PM()) {
+		t.Fatalf("final PM diverges: %v", res.System.PM().Diff(recB.PM(), 5))
+	}
+	// And the whole detour is invisible to the program: final data matches
+	// the failure-free run.
+	if err := recovery.VerifyEquivalence(recB.PM(), clean.PM()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointRequiresRecoveryMetadata(t *testing.T) {
+	sch := machine.Scheme{Name: "plain"} // uninstrumented: no checkpoints
+	rt, err := NewRuntimeFor(mixProg(), compiler.Config{}, smallCfg(), sch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rt.NewSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done, err := sys.RunUntilContext(context.Background(), 100); err != nil || done {
+		t.Fatalf("short run: done=%v err=%v", done, err)
+	}
+	if _, err := rt.Checkpoint(sys); !errors.Is(err, wsperr.ErrUnrecoverable) {
+		t.Fatalf("checkpoint without metadata: %v", err)
 	}
 }

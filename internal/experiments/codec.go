@@ -42,6 +42,17 @@ const (
 	verdictSchemaVersion = 2
 	// reproSchemaVersion covers self-contained crash-fuzzing repro files.
 	reproSchemaVersion = 2
+	// sessionSchemaVersion covers durable-session manifests (the per-session
+	// list of snapshot refs).
+	//
+	// v2: refs carry the boot-event sequence number so resume can pick the
+	// newest snapshot a client's last-seen milestone allows. A v1 manifest
+	// (refs without boot seqs) reads as a miss, and the session falls back to
+	// booting fresh and replaying its full journal — slower, never wrong.
+	sessionSchemaVersion = 2
+	// snapshotSchemaVersion covers content-addressed session snapshot blobs
+	// (drained PM image + resume metadata).
+	snapshotSchemaVersion = 1
 )
 
 // The codec table: one entry per persisted artifact family.
@@ -56,6 +67,14 @@ var (
 	// (internal/crashfuzz repro.go); repros keep their flat self-describing
 	// layout for hand-editing, but their version number lives here.
 	ReproCodec = Codec{Schema: "crashfuzz-repro", Version: reproSchemaVersion}
+	// SessionCodec stores a durable session's manifest: its spec plus the
+	// refs of its retained snapshots (session.go).
+	SessionCodec = Codec{Schema: "session-manifest", Version: sessionSchemaVersion}
+	// SnapshotCodec stores one durable session snapshot — the power-failure
+	// crash image exported word by word, with the metadata needed to recover
+	// and keep replaying the journal — keyed by content hash in the session
+	// store's blob cache.
+	SnapshotCodec = Codec{Schema: "session-snapshot", Version: snapshotSchemaVersion}
 )
 
 // codecEnvelope is the on-disk wrapper around every blob-cache payload.
@@ -98,7 +117,7 @@ func (c Codec) Store(b *BlobCache, hash, key string, payload any) {
 // knownEnvelope reports whether env matches a current blob-cache codec —
 // the keep-criterion Scrub uses.
 func knownEnvelope(env codecEnvelope) bool {
-	for _, c := range []Codec{RunCodec, VerdictCodec} {
+	for _, c := range []Codec{RunCodec, VerdictCodec, SessionCodec, SnapshotCodec} {
 		if env.Schema == c.Schema && env.Version == c.Version {
 			return true
 		}

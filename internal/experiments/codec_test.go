@@ -94,3 +94,44 @@ func TestCodecMigration(t *testing.T) {
 		})
 	}
 }
+
+// TestSessionCodecRoundTripAndScrub covers the session-manifest and
+// session-snapshot envelopes: a manifest round-trips through its codec, and
+// Scrub keeps current session artifacts while sweeping stale versions.
+func TestSessionCodecRoundTripAndScrub(t *testing.T) {
+	b := NewBlobCache(t.TempDir())
+	in := sessionManifest{
+		ID:   "s1",
+		Spec: SessionSpec{Suite: "cpu2006", App: "fuzz-st", Scheme: "lightwsp", SnapshotEvery: 600},
+		Snapshots: []SnapshotRef{
+			{Record: 3, Segment: 1, BootSeq: 7, Total: 600, Outputs: 2, Hash: "abc"},
+		},
+	}
+	SessionCodec.Store(b, manifestName, "s1", in)
+	var out sessionManifest
+	if !SessionCodec.Load(b, manifestName, "s1", &out) {
+		t.Fatal("manifest did not load")
+	}
+	if out.ID != in.ID || out.Spec != in.Spec || len(out.Snapshots) != 1 || out.Snapshots[0] != in.Snapshots[0] {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+
+	// Current session blobs survive Scrub; an older snapshot version does not.
+	SnapshotCodec.Store(b, "snapcur", "session:s1#3", snapshotPayload{ID: "s1", Record: 3})
+	old := Codec{Schema: SnapshotCodec.Schema, Version: SnapshotCodec.Version - 1}
+	old.Store(b, "snapold", "session:s1#1", snapshotPayload{ID: "s1", Record: 1})
+	removed, err := Scrub(b.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("scrub removed %d entries, want 1 (the old-version snapshot)", removed)
+	}
+	if !SessionCodec.Load(b, manifestName, "s1", &out) {
+		t.Fatal("scrub swept a current manifest")
+	}
+	var snap snapshotPayload
+	if !SnapshotCodec.Load(b, "snapcur", "session:s1#3", &snap) || snap.Record != 3 {
+		t.Fatal("scrub swept a current snapshot blob")
+	}
+}

@@ -192,6 +192,56 @@ func (im *Image) Hash() uint64 {
 	return h
 }
 
+// Export serializes the image as flat (address, value) pairs — every
+// non-zero word in ascending address order. The layout is canonical: two
+// images export equal slices iff they hold identical contents, so a
+// content-addressed snapshot store can hash the export and deduplicate.
+// ImportImage is the inverse.
+func (im *Image) Export() []uint64 {
+	idx := make([]uint64, 0, len(im.pages))
+	for pi := range im.pages {
+		idx = append(idx, pi)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	out := make([]uint64, 0, 2*im.count)
+	for _, pi := range idx {
+		pg := im.pages[pi]
+		for off := uint64(0); off < pageWords; off++ {
+			if v := pg.words[off]; v != 0 {
+				out = append(out, (pi<<pageShift|off)<<3, v)
+			}
+		}
+	}
+	return out
+}
+
+// ImportImage rebuilds an image from Export's pair layout. It insists on the
+// canonical form — even length, 8-byte-aligned strictly ascending addresses,
+// non-zero values — so a truncated or hand-mangled snapshot is rejected
+// instead of silently importing as a different memory.
+func ImportImage(pairs []uint64) (*Image, error) {
+	if len(pairs)%2 != 0 {
+		return nil, fmt.Errorf("mem: import of %d values (odd; want address/value pairs)", len(pairs))
+	}
+	im := NewImage()
+	var prev uint64
+	for i := 0; i < len(pairs); i += 2 {
+		addr, val := pairs[i], pairs[i+1]
+		if !Align8(addr) {
+			return nil, fmt.Errorf("mem: import pair %d: unaligned address %#x", i/2, addr)
+		}
+		if val == 0 {
+			return nil, fmt.Errorf("mem: import pair %d: zero value at %#x", i/2, addr)
+		}
+		if i > 0 && addr <= prev {
+			return nil, fmt.Errorf("mem: import pair %d: address %#x not ascending", i/2, addr)
+		}
+		prev = addr
+		im.Write(addr, val)
+	}
+	return im, nil
+}
+
 // EqualRange reports whether the images agree on every word in [lo, hi).
 func (im *Image) EqualRange(other *Image, lo, hi uint64) bool {
 	if lo >= hi {

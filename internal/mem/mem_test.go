@@ -370,3 +370,67 @@ func TestCloneEqualProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestImageExportImportRoundTrip(t *testing.T) {
+	im := NewImage()
+	// Words spread across pages, including a page-boundary straddle.
+	for _, w := range []struct{ addr, val uint64 }{
+		{0x0, 1}, {0x1000 - 8, 2}, {0x1000, 3}, {0x40000, 4}, {0x40008, 5},
+	} {
+		im.Write(w.addr, w.val)
+	}
+	pairs := im.Export()
+	if len(pairs) != 2*im.Len() {
+		t.Fatalf("export length %d, want %d", len(pairs), 2*im.Len())
+	}
+	back, err := ImportImage(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(im) {
+		t.Fatalf("round trip diverged: %v", back.Diff(im, 5))
+	}
+	// Canonical form: re-export must be identical.
+	again := back.Export()
+	for i := range pairs {
+		if again[i] != pairs[i] {
+			t.Fatalf("re-export differs at %d: %#x != %#x", i, again[i], pairs[i])
+		}
+	}
+	if empty, err := ImportImage(nil); err != nil || empty.Len() != 0 {
+		t.Fatalf("empty import: %v len=%d", err, empty.Len())
+	}
+}
+
+func TestImageExportImportProperty(t *testing.T) {
+	prop := func(addrs []uint16, vals []uint16) bool {
+		im := NewImage()
+		for i, ad := range addrs {
+			v := uint64(0)
+			if i < len(vals) {
+				v = uint64(vals[i])
+			}
+			im.Write(uint64(ad)&^7, v)
+		}
+		back, err := ImportImage(im.Export())
+		return err == nil && back.Equal(im)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImportImageRejectsNonCanonical(t *testing.T) {
+	cases := map[string][]uint64{
+		"odd length": {0x8, 1, 0x10},
+		"unaligned":  {0x9, 1},
+		"zero value": {0x8, 0},
+		"descending": {0x10, 1, 0x8, 2},
+		"duplicate":  {0x8, 1, 0x8, 2},
+	}
+	for name, pairs := range cases {
+		if _, err := ImportImage(pairs); err == nil {
+			t.Errorf("%s import accepted: %v", name, pairs)
+		}
+	}
+}

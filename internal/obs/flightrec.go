@@ -36,6 +36,7 @@ type FlightRecorder struct {
 	suite   string
 	app     string
 	scheme  string
+	session string
 }
 
 // NewFlightRecorder returns a recorder keeping the last cap events
@@ -51,6 +52,15 @@ func NewFlightRecorder(traceID string, cap int) *FlightRecorder {
 func (f *FlightRecorder) SetRun(suite, app, scheme string) {
 	f.mu.Lock()
 	f.suite, f.app, f.scheme = suite, app, scheme
+	f.mu.Unlock()
+}
+
+// SetSession tags the recorder with the durable session it is watching, so a
+// dump from a killed or drained session operation can be matched back to the
+// session store entry it belongs to.
+func (f *FlightRecorder) SetSession(id string) {
+	f.mu.Lock()
+	f.session = id
 	f.mu.Unlock()
 }
 
@@ -118,6 +128,9 @@ type FlightDump struct {
 	Suite   string `json:"suite,omitempty"`
 	App     string `json:"app,omitempty"`
 	Scheme  string `json:"scheme,omitempty"`
+	// Session is the durable session the dumped operation belonged to, when
+	// it was a session advance/resume/snapshot.
+	Session string `json:"session,omitempty"`
 	// Reason is why the dump exists: "deadline", "error", "panic" or
 	// "drain-interrupted".
 	Reason string `json:"reason"`
@@ -142,6 +155,7 @@ func (f *FlightRecorder) Dump(dir, reason string, runErr error) (string, error) 
 		Suite:       f.suite,
 		App:         f.app,
 		Scheme:      f.scheme,
+		Session:     f.session,
 		Reason:      reason,
 		DumpedAt:    time.Now().UTC().Format(time.RFC3339Nano),
 		TotalEvents: f.total,

@@ -138,6 +138,7 @@ func TestFlightRecorderDump(t *testing.T) {
 	dir := t.TempDir()
 	rec := NewFlightRecorder("dump-test", 16)
 	rec.SetRun("cpu2006", "fuzz-st", "lightwsp")
+	rec.SetSession("alpha")
 	rec.Emit(probe.Event{Kind: probe.RegionOpen, Cycle: 1, Core: 0, MC: -1})
 	rec.Emit(probe.Event{Kind: probe.WPQFlush, Cycle: 2, Core: -1, MC: 1, Arg: 3})
 
@@ -158,6 +159,9 @@ func TestFlightRecorderDump(t *testing.T) {
 	}
 	if d.TraceID != "dump-test" || d.Reason != "deadline" || d.Suite != "cpu2006" {
 		t.Fatalf("unexpected dump header: %+v", d)
+	}
+	if d.Session != "alpha" {
+		t.Fatalf("dump session %q, want the tagged session ID", d.Session)
 	}
 	if d.TotalEvents != 2 || len(d.Events) != 2 {
 		t.Fatalf("events: total %d, kept %d; want 2/2", d.TotalEvents, len(d.Events))

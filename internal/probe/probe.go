@@ -94,6 +94,27 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// milestones marks the rare protocol transitions worth a line on a
+// client-facing stream: deadlock-escape entry/exit, power failures, recovery
+// boots and fabric degradation — never the per-store firehose. The HTTP
+// streaming and session layers share this selection so an interrupted
+// session's replayed stream carries exactly the events a live one did.
+var milestones = [NumKinds]bool{
+	WPQOverflowEnter:    true,
+	WPQOverflowExit:     true,
+	PowerFailCut:        true,
+	PowerFailDrained:    true,
+	RecoveryBoot:        true,
+	FabricRetry:         true,
+	FabricDupSuppressed: true,
+	MCDegraded:          true,
+}
+
+// MilestoneKind reports whether k is a stream-worthy protocol milestone.
+func MilestoneKind(k Kind) bool {
+	return int(k) < NumKinds && milestones[k]
+}
+
 // Event is one instrumentation event. It is passed by value; fields that do
 // not apply to a kind are -1 (Core, MC) or 0.
 type Event struct {

@@ -81,6 +81,19 @@ func Recover(prog *isa.Program, cfg machine.Config, scheme machine.Scheme,
 	return machine.NewRecoveredSystem(prog, cfg, scheme, pm, states, regionCounter+1)
 }
 
+// ValidateImage checks that a persisted image is a viable recovery point —
+// its undo logs roll back cleanly and every thread's checkpointed PC lands
+// inside the program — without building a machine or mutating pm. Durable
+// snapshot stores use it to vet a deserialized image before committing to
+// resume from it; a snapshot file truncated by the very power failure it was
+// meant to survive fails here and the store falls back to an older one.
+func ValidateImage(prog *isa.Program, cfg machine.Config, recipes map[uint64][]compiler.Recipe, pm *mem.Image) error {
+	scratch := pm.Clone()
+	RollbackUndoLogs(scratch, cfg.NumMCs)
+	_, err := ThreadStates(scratch, cfg.Threads, prog, recipes)
+	return err
+}
+
 // UserRangeEnd is the top of the address range holding program data: above
 // it live the undo logs, call stacks and checkpoint arrays, whose final
 // contents legitimately differ between a run that crashed and recovered and

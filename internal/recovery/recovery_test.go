@@ -167,3 +167,31 @@ func TestVerifyEquivalence(t *testing.T) {
 		t.Fatalf("diff should name the address: %v", err)
 	}
 }
+
+func TestValidateImageAcceptsViableCheckpoint(t *testing.T) {
+	pm := crashImage(t, 2)
+	cfg := machine.DefaultConfig()
+	cfg.Threads = 2
+	before := pm.Clone()
+	if err := ValidateImage(trivialProg(t), cfg, nil, pm); err != nil {
+		t.Fatalf("viable image rejected: %v", err)
+	}
+	// Validation must be read-only: the caller may still recover from pm.
+	if !pm.Equal(before) {
+		t.Fatalf("ValidateImage mutated the image: %v", pm.Diff(before, 5))
+	}
+}
+
+func TestValidateImageRejectsCorruptPC(t *testing.T) {
+	pm := crashImage(t, 1)
+	pm.Write(mem.CkptAddr(0, mem.CkptSlotPC), isa.PC{Func: 99}.Pack())
+	cfg := machine.DefaultConfig()
+	cfg.Threads = 1
+	err := ValidateImage(trivialProg(t), cfg, nil, pm)
+	if err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

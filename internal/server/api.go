@@ -17,6 +17,22 @@
 //	POST /v1/run-with-failure  power-cut + recovery round trip
 //	POST /v1/crashfuzz       a crash-consistency fuzzing campaign
 //	POST /v1/experiment      a full registry experiment (fig7, tab2, ...)
+//	POST /v1/session         create a durable session
+//	GET  /v1/session         list open sessions
+//	GET  /v1/session/{id}    one session's status
+//	DELETE /v1/session/{id}  remove a session and its snapshots
+//	POST /v1/session/{id}/advance  run forward, streaming NDJSON events
+//	POST /v1/session/{id}/resume   replay events after a last-seen seq
+//
+// Durable sessions (enabled by Config.SessionDir) are long-lived runs that
+// survive power loss and server restarts: every advance is journaled before
+// it executes, the machine is periodically snapshotted (checkpoint state +
+// persistent-memory image, content-addressed into the session store), and a
+// restarted server replays the recovery protocol to reopen every session at
+// its last journaled position. Streams are resumable: a client that lost
+// its connection posts its last-seen sequence number to /resume and
+// receives exactly the events after it, byte-identical to an uninterrupted
+// stream.
 //
 // Admission: at most Workers+QueueDepth requests are admitted at once;
 // beyond that the server answers 429 with Retry-After. During drain new
@@ -178,6 +194,10 @@ type StatsResponse struct {
 	RejectedDraining int64 `json:"rejected_draining"`
 	// Draining is true once graceful shutdown began.
 	Draining bool `json:"draining"`
+	// SessionsOpen counts open durable sessions; SessionsRestored how many
+	// were restored from disk at startup. Both zero when sessions are off.
+	SessionsOpen     int   `json:"sessions_open"`
+	SessionsRestored int64 `json:"sessions_restored"`
 	// Metrics aggregates every resolved run's probe metrics.
 	Metrics metrics.Snapshot `json:"metrics"`
 }
@@ -206,6 +226,48 @@ type DebugRunResponse struct {
 	FlightDump string                   `json:"flight_dump,omitempty"`
 	FinishedAt string                   `json:"finished_at"`
 	Manifest   *experiments.RunManifest `json:"manifest,omitempty"`
+}
+
+// SessionCreateRequest creates one durable session (POST /v1/session).
+type SessionCreateRequest struct {
+	// ID names the session ([A-Za-z0-9][A-Za-z0-9._-]{0,63}); empty gets a
+	// generated one (returned in the response).
+	ID string `json:"id,omitempty"`
+	// Suite and App select the workload profile, like RunRequest.
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// Scheme must be an instrumented persistence scheme (snapshots are
+	// power failures; only instrumented schemes recover); empty means
+	// lightwsp.
+	Scheme string `json:"scheme,omitempty"`
+	// SnapshotEvery is the automatic snapshot cadence in session-total
+	// cycles; 0 inherits the server default.
+	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
+}
+
+// SessionAdvanceRequest runs a session forward (POST /v1/session/{id}/advance).
+// The response streams NDJSON experiments.SessionEvent lines.
+type SessionAdvanceRequest struct {
+	// Target is the session-total cycle to run until. A target at or below
+	// the session's current position streams nothing and succeeds (safe to
+	// re-issue after a lost connection).
+	Target    uint64 `json:"target"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// SessionResumeRequest replays a session's event stream (POST
+// /v1/session/{id}/resume): one unnumbered header line, then exactly the
+// events after LastSeq, byte-identical to an uninterrupted stream.
+type SessionResumeRequest struct {
+	// LastSeq is the highest event seq the client has already seen; 0
+	// replays the stream from the beginning.
+	LastSeq   uint64 `json:"last_seq"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// SessionListResponse is the GET /v1/session body.
+type SessionListResponse struct {
+	Sessions []experiments.SessionStatus `json:"sessions"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.

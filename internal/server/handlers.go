@@ -34,6 +34,12 @@ func (s *Server) routes() {
 	handle("POST /v1/run-with-failure", "/v1/run-with-failure", false, s.handleRunWithFailure)
 	handle("POST /v1/crashfuzz", "/v1/crashfuzz", false, s.handleCrashfuzz)
 	handle("POST /v1/experiment", "/v1/experiment", false, s.handleExperiment)
+	handle("POST /v1/session", "/v1/session", false, s.handleSessionCreate)
+	handle("GET /v1/session", "/v1/session", true, s.handleSessionList)
+	handle("GET /v1/session/{id}", "/v1/session/get", true, s.handleSessionGet)
+	handle("DELETE /v1/session/{id}", "/v1/session/delete", false, s.handleSessionDelete)
+	handle("POST /v1/session/{id}/advance", "/v1/session/advance", false, s.handleSessionAdvance)
+	handle("POST /v1/session/{id}/resume", "/v1/session/resume", false, s.handleSessionResume)
 }
 
 // handleHealthz is the liveness probe: 200 while serving, 503 once the
@@ -57,6 +63,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RUnlock()
 	c := s.runner.Counters()
 	inFlight, queued, _ := s.gaugeSnapshot()
+	openSessions := 0
+	if s.sessions != nil {
+		openSessions = len(s.sessions.Sessions())
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		FreshRuns:        c.Fresh,
 		DiskCacheHits:    c.DiskHits,
@@ -70,6 +80,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RejectedBusy:     s.rejectedBusy.Load(),
 		RejectedDraining: s.rejectedDraining.Load(),
 		Draining:         draining,
+		SessionsOpen:     openSessions,
+		SessionsRestored: s.sessionsRestored.Load(),
 		Metrics:          experiments.AggregateMetrics(s.runner.Manifests()),
 	})
 }

@@ -25,6 +25,8 @@ type reqInfo struct {
 
 	suite, app, scheme string
 	keyHash            string
+	// session is the durable session the request operated on, if any.
+	session string
 	// source is the run's resolution provenance when known ("fresh" or
 	// "cached", from the manifest); empty otherwise.
 	source string
@@ -193,6 +195,9 @@ func (s *Server) accessLog(r *http.Request, ri *reqInfo, status int, d time.Dura
 	if ri.queueWait > 0 {
 		attrs = append(attrs, "queue_wait_ms", float64(ri.queueWait.Microseconds())/1000)
 	}
+	if ri.session != "" {
+		attrs = append(attrs, "session", ri.session)
+	}
 	if ri.suite != "" {
 		attrs = append(attrs, "suite", ri.suite, "app", ri.app)
 	}
@@ -230,6 +235,9 @@ func shortHash(h string) string {
 func (s *Server) attachFlight(ctx context.Context, ri *reqInfo) (context.Context, func()) {
 	rec := obs.NewFlightRecorder(ri.traceID, 0)
 	rec.SetRun(ri.suite, ri.app, ri.scheme)
+	if ri.session != "" {
+		rec.SetSession(ri.session)
+	}
 	ri.flight = rec
 	s.flightMu.Lock()
 	s.activeFlights[ri.traceID] = rec

@@ -50,6 +50,19 @@ type Config struct {
 	// TimelineDir, when set, makes every fresh run export a Chrome
 	// trace-event timeline (tagged with the request's trace ID) there.
 	TimelineDir string
+	// SessionDir roots the durable-session store (journals + snapshot
+	// blobs); empty disables the /v1/session endpoints. On startup every
+	// session found there is restored from its newest durable snapshot and
+	// journal, so sessions survive server restarts and power loss.
+	SessionDir string
+	// SnapshotEvery is the default snapshot cadence (in session-total
+	// cycles) for sessions created without one; 0 leaves cadence snapshots
+	// to the client's spec.
+	SnapshotEvery uint64
+	// SnapshotInterval, when positive, forces a durable snapshot of every
+	// idle session on this wall-clock period, bounding replay cost after a
+	// hard crash even when clients stall between cadence points.
+	SnapshotInterval time.Duration
 }
 
 // Server is the HTTP serving layer over one process-wide Runner: every
@@ -94,6 +107,14 @@ type Server struct {
 	flightMu      sync.Mutex
 	activeFlights map[string]*obs.FlightRecorder
 
+	// Durable sessions: the store (nil when Config.SessionDir is empty or
+	// failed to open), the periodic-snapshot ticker's stop plumbing, and the
+	// count of sessions restored at startup.
+	sessions         *experiments.SessionStore
+	sessionStop      chan struct{}
+	sessionStopOnce  sync.Once
+	sessionsRestored atomic.Int64
+
 	// hookAdmitted, when non-nil, runs after a request passes admission
 	// and before its handler body (test instrumentation).
 	hookAdmitted func(*http.Request)
@@ -136,6 +157,9 @@ func New(cfg Config) *Server {
 	if cfg.CacheDir != "" {
 		s.blobs = experiments.NewBlobCache(cfg.CacheDir)
 	}
+	if cfg.SessionDir != "" {
+		s.initSessions()
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -164,11 +188,23 @@ func (s *Server) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		// The drain deadline fired with runs still executing: before the
 		// process dies, every in-flight run's flight recorder dumps its
-		// final probe events so the interruption is diagnosable post-mortem.
+		// final probe events so the interruption is diagnosable post-mortem,
+		// and every session that can still be snapshotted gets a final
+		// durable snapshot (busy ones are preserved by their journals).
 		n := s.dumpInflightFlights("drain-interrupted")
-		s.log.Warn("drain interrupted with work in flight", "flight_dumps", n)
+		snaps := s.snapshotSessionsForDrain("drain-interrupted")
+		s.log.Warn("drain interrupted with work in flight",
+			"flight_dumps", n, "session_snapshots", snaps)
+		s.closeSessions()
 		return fmt.Errorf("server: drain interrupted with work in flight: %w", ctx.Err())
 	}
+	// Lossless drain: with no work in flight every open session takes one
+	// final snapshot, so the next boot recovers each session at its exact
+	// stop point with zero journal replay.
+	if snaps := s.snapshotSessionsForDrain("drain"); snaps > 0 {
+		s.log.Info("final session snapshots written", "count", snaps)
+	}
+	s.closeSessions()
 	s.log.Info("drain complete")
 	return s.flush()
 }
@@ -275,6 +311,13 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, wsperr.ErrWPQOverflow), errors.Is(err, wsperr.ErrCyclesExceeded):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, experiments.ErrSessionBusy),
+		errors.Is(err, experiments.ErrSessionExists):
+		return http.StatusConflict
+	case errors.Is(err, experiments.ErrNoSession):
+		return http.StatusNotFound
+	case errors.Is(err, experiments.ErrSessionClosed):
+		return http.StatusGone
 	case errors.Is(err, wsperr.ErrUnrecoverable):
 		return http.StatusInternalServerError
 	default:

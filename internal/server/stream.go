@@ -20,20 +20,6 @@ import (
 // milliseconds.
 const streamChunk = 1 << 20
 
-// milestone selects the protocol events worth a line on the wire: the rare
-// state transitions (deadlock-escape entry/exit, power failures, recovery
-// boots, fabric degradation) — never the per-store firehose.
-var milestone = map[probe.Kind]bool{
-	probe.WPQOverflowEnter:    true,
-	probe.WPQOverflowExit:     true,
-	probe.PowerFailCut:        true,
-	probe.PowerFailDrained:    true,
-	probe.RecoveryBoot:        true,
-	probe.FabricRetry:         true,
-	probe.FabricDupSuppressed: true,
-	probe.MCDegraded:          true,
-}
-
 // streamEvent is one NDJSON line. Type is "event" (a milestone probe
 // event), "progress" (a cycle heartbeat), "stats" (the terminal line) or
 // "error" (the terminal line of a failed run — the HTTP status is long
@@ -63,7 +49,10 @@ type streamSink struct {
 }
 
 func (ss *streamSink) Emit(e probe.Event) {
-	if !milestone[e.Kind] {
+	// probe.MilestoneKind selects the rare protocol transitions worth a
+	// line on the wire — the same filter the durable-session stream uses —
+	// never the per-store firehose.
+	if !probe.MilestoneKind(e.Kind) {
 		return
 	}
 	ss.enc.Encode(streamEvent{

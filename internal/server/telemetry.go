@@ -27,10 +27,15 @@ type telemetry struct {
 	mu       sync.Mutex
 	requests map[endpointCode]uint64
 	latency  map[string]*stats.Histogram
+	// snapLatency is the durable-session snapshot-write latency (µs,
+	// log-2 buckets), fed by the store's OnSnapshot hook.
+	snapLatency stats.Histogram
 
 	panics          atomic.Uint64
 	deadlineCancels atomic.Uint64
 	flightDumps     atomic.Uint64
+	sessionSnaps    atomic.Uint64
+	sessionResumes  atomic.Uint64
 }
 
 func newTelemetry() *telemetry {
@@ -100,6 +105,7 @@ func (s *Server) WriteProm(w io.Writer) error {
 	for ep, h := range s.tel.latency {
 		lats[ep] = metrics.SnapHistogram(h)
 	}
+	snapLat := metrics.SnapHistogram(&s.tel.snapLatency)
 	s.tel.mu.Unlock()
 
 	p.Family("lightwsp_http_requests_total", "counter", "HTTP requests served, by endpoint and status code.")
@@ -137,6 +143,19 @@ func (s *Server) WriteProm(w io.Writer) error {
 	counter("lightwsp_request_panics_total", "Handler panics recovered by the middleware.", float64(s.tel.panics.Load()))
 	counter("lightwsp_deadline_cancels_total", "Requests answered 504 after their deadline fired mid-run.", float64(s.tel.deadlineCancels.Load()))
 	counter("lightwsp_flight_dumps_total", "Flight-recorder dumps written.", float64(s.tel.flightDumps.Load()))
+
+	// Durable sessions (families exposed even at zero so dashboards and
+	// alerts can be written before the first session exists).
+	openSessions := 0
+	if s.sessions != nil {
+		openSessions = len(s.sessions.Sessions())
+	}
+	gauge("lightwsp_sessions_open", "Durable sessions currently open.", float64(openSessions))
+	counter("lightwsp_sessions_restored_total", "Sessions restored from disk at startup.", float64(s.sessionsRestored.Load()))
+	counter("lightwsp_session_snapshots_total", "Durable session snapshots written.", float64(s.tel.sessionSnaps.Load()))
+	counter("lightwsp_session_resumes_total", "Session streams resumed by clients.", float64(s.tel.sessionResumes.Load()))
+	p.Family("lightwsp_session_snapshot_duration_us", "histogram", "Durable-snapshot write latency in microseconds (log-2 buckets).")
+	p.Histogram("lightwsp_session_snapshot_duration_us", nil, snapLat)
 
 	// Run resolution provenance.
 	c := s.runner.Counters()

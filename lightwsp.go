@@ -51,6 +51,7 @@ import (
 	"lightwsp/internal/baseline"
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
+	"lightwsp/internal/experiments"
 	"lightwsp/internal/isa"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/mem"
@@ -264,3 +265,44 @@ func Workloads() []WorkloadProfile { return workload.Profiles() }
 
 // BuildWorkload synthesizes a profile's program deterministically.
 func BuildWorkload(p WorkloadProfile) (*Program, error) { return workload.Build(p) }
+
+// Durable sessions: long-lived runs that survive power loss and process
+// restarts. A SessionStore owns a directory of sessions; each session
+// journals every advance before executing it and periodically snapshots the
+// machine (a planned §IV-F power failure whose drained image is
+// content-addressed into the store), so reopening the store replays the
+// recovery protocol and restores every session to its exact last position —
+// the event stream a resumed client sees is byte-identical to an
+// uninterrupted run's. lightwsp-serve exposes the same machinery over HTTP
+// at /v1/session.
+type (
+	// SessionStore owns a directory of durable sessions.
+	SessionStore = experiments.SessionStore
+	// Session is one durable run; see Advance, Resume, ForceSnapshot.
+	Session = experiments.Session
+	// SessionSpec declares a session's workload, scheme and snapshot cadence.
+	SessionSpec = experiments.SessionSpec
+	// SessionEvent is one line of a session's milestone event stream.
+	SessionEvent = experiments.SessionEvent
+	// SessionStatus is a point-in-time session summary.
+	SessionStatus = experiments.SessionStatus
+)
+
+// Session sentinel errors; classify with errors.Is.
+var (
+	// ErrSessionBusy: another operation holds the session; retry later.
+	ErrSessionBusy = experiments.ErrSessionBusy
+	// ErrSessionExists: a session with that ID already exists.
+	ErrSessionExists = experiments.ErrSessionExists
+	// ErrNoSession: no session with that ID.
+	ErrNoSession = experiments.ErrNoSession
+	// ErrSessionClosed: the session handle was closed or removed.
+	ErrSessionClosed = experiments.ErrSessionClosed
+)
+
+// OpenSessionStore opens (creating if needed) the durable-session store
+// rooted at dir. Reopening a store after a crash or restart restores every
+// session it contains from its newest durable snapshot plus journal replay.
+func OpenSessionStore(dir string) (*SessionStore, error) {
+	return experiments.OpenSessionStore(dir)
+}

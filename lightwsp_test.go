@@ -2,6 +2,7 @@ package lightwsp_test
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"lightwsp"
@@ -116,5 +117,60 @@ func TestFacadeSchemesRun(t *testing.T) {
 func TestWorkloadsComplete(t *testing.T) {
 	if got := len(lightwsp.Workloads()); got != 39 {
 		t.Fatalf("workloads = %d, want 39", got)
+	}
+}
+
+// TestFacadeDurableSession exercises the session surface the façade
+// re-exports: create, advance, reopen after an abandoned handle (the
+// kill -9 shape), and a byte-identical resume.
+func TestFacadeDurableSession(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := lightwsp.SessionSpec{Suite: "cpu2006", App: "fuzz-st", SnapshotEvery: 600}
+
+	st, err := lightwsp.OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := st.Create("demo", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []lightwsp.SessionEvent
+	emit := func(ev lightwsp.SessionEvent) error { live = append(live, ev); return nil }
+	if err := sess.Advance(ctx, 10_000, emit, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) == 0 || !sess.Status().Done {
+		t.Fatalf("advance: %d events, done=%v", len(live), sess.Status().Done)
+	}
+	if _, err := st.Create("demo", spec); !errors.Is(err, lightwsp.ErrSessionExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+
+	// Abandon the store (as a crash would) and reopen the directory.
+	st2, err := lightwsp.OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sess2, err := st2.Open(ctx, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replay []lightwsp.SessionEvent
+	if err := sess2.Resume(ctx, 0, func(ev lightwsp.SessionEvent) error {
+		replay = append(replay, ev)
+		return nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(live) {
+		t.Fatalf("replay %d events, want %d", len(replay), len(live))
+	}
+	for i := range live {
+		if replay[i] != live[i] {
+			t.Fatalf("event %d diverged:\n%+v\n%+v", i, replay[i], live[i])
+		}
 	}
 }
