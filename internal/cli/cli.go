@@ -21,6 +21,7 @@ import (
 
 	"lightwsp/internal/experiments"
 	"lightwsp/internal/faults"
+	"lightwsp/internal/hostfs"
 	"lightwsp/internal/obs"
 )
 
@@ -50,6 +51,12 @@ const (
 	// SnapshotIntervalEnv supplies the default wall-clock forced-snapshot
 	// period (-snapshot-interval), in time.ParseDuration syntax.
 	SnapshotIntervalEnv = "LIGHTWSP_SNAPSHOT_INTERVAL"
+	// DiskFaultsEnv supplies a default host-storage fault plan
+	// (-disk-faults).
+	DiskFaultsEnv = "LIGHTWSP_DISK_FAULTS"
+	// DiskFaultSeedEnv supplies the default host-storage campaign seed
+	// (-seed).
+	DiskFaultSeedEnv = "LIGHTWSP_DISK_FAULT_SEED"
 )
 
 // Common is the resolved shared configuration. Zero value + Register +
@@ -176,6 +183,39 @@ func (s *Sessions) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&s.SnapshotInterval, "snapshot-interval", envDuration(SnapshotIntervalEnv, 0),
 		"force a durable snapshot of idle sessions this often, e.g. 30s "+
 			"(0 disables; defaults to $"+SnapshotIntervalEnv+")")
+}
+
+// DiskFaults is the host-storage fault-plan flag group (lightwsp-admin's
+// diskfuzz verb): the hostfs plan grammar plus the campaign seed. It is
+// deliberately distinct from the -faults persist-fabric group — one breaks
+// the simulated machine's fabric, the other breaks the host disk under the
+// durable layer.
+type DiskFaults struct {
+	// Spec is the -disk-faults plan text (hostfs.ParsePlan grammar); empty
+	// or "none" leaves plan selection to the campaign's rotating presets.
+	Spec string
+	// Seed drives the campaign's hashed fault decisions.
+	Seed int64
+}
+
+// Register installs the disk-fault flags on fs with their
+// environment-derived defaults.
+func (d *DiskFaults) Register(fs *flag.FlagSet) {
+	fs.StringVar(&d.Spec, "disk-faults", os.Getenv(DiskFaultsEnv),
+		"host-storage fault plan, e.g. \"enospc=5,eio=5,torn=30,fsynclie=20,flip=10\" "+
+			"(empty/none: rotate built-in presets; defaults to $"+DiskFaultsEnv+")")
+	fs.Int64Var(&d.Seed, "seed", envInt64(DiskFaultSeedEnv, 1),
+		"campaign seed; the same seed replays the same faults (default $"+DiskFaultSeedEnv+" or 1)")
+}
+
+// Plan parses and seeds the host-storage fault plan.
+func (d *DiskFaults) Plan() (hostfs.Plan, error) {
+	p, err := hostfs.ParsePlan(d.Spec)
+	if err != nil {
+		return hostfs.Plan{}, err
+	}
+	p.Seed = d.Seed
+	return p, nil
 }
 
 func envOr(name, def string) string {

@@ -8,7 +8,11 @@ import "encoding/json"
 // below, and the Load/Store helpers wrap payloads in a common envelope that
 // also embeds the full content key. A reader that finds the wrong schema
 // name, the wrong version, the wrong key, or an undecodable payload treats
-// the entry as a miss and evicts it — never as a result.
+// the entry as a miss and evicts it — never as a result. Beneath the
+// envelope, BlobCache seals every file with a CRC-32C integrity trailer
+// (internal/hostfs), so the envelope defends against semantic staleness and
+// the seal against physical corruption: a bit flip that still decodes as a
+// plausible envelope quarantines instead of loading.
 //
 // Before this table existed the repo had three ad-hoc version constants
 // (disk-cache entries, crash-fuzz repro files, the run key) that had to be

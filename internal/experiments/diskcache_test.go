@@ -9,6 +9,7 @@ import (
 
 	"lightwsp/internal/baseline"
 	"lightwsp/internal/compiler"
+	"lightwsp/internal/hostfs"
 	"lightwsp/internal/workload"
 )
 
@@ -102,16 +103,22 @@ func TestDiskCacheInvalidatesOldSchemaVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e codecEnvelope
-	if err := json.Unmarshal(data, &e); err != nil {
-		t.Fatal(err)
-	}
-	e.Version = RunCodec.Version - 1
-	data, err = json.Marshal(e)
+	payload, err := hostfs.UnsealPayload(data, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(file, data, 0o644); err != nil {
+	var e codecEnvelope
+	if err := json.Unmarshal(payload, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Version = RunCodec.Version - 1
+	payload, err = json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reseal: the entry must be integrity-clean so the miss is the codec's
+	// version check, not the checksum.
+	if err := os.WriteFile(file, hostfs.Seal(payload), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -127,22 +134,25 @@ func TestDiskCacheInvalidatesOldSchemaVersion(t *testing.T) {
 
 func TestScrubRemovesStaleEntries(t *testing.T) {
 	dir := t.TempDir()
-	write := func(name string, v any) {
+	write := func(name string, sealed bool, v any) {
 		t.Helper()
 		data, err := json.Marshal(v)
 		if err != nil {
 			t.Fatal(err)
 		}
+		if sealed {
+			data = hostfs.Seal(data)
+		}
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// One stale-version envelope, one pre-envelope legacy entry, one current
-	// run envelope and one current verdict envelope.
-	write("stale.json", codecEnvelope{Schema: RunCodec.Schema, Version: RunCodec.Version - 1, Key: "old"})
-	write("legacy.json", map[string]any{"schema_version": 2, "key": "older", "stats": map[string]any{}})
-	write("valid.json", codecEnvelope{Schema: RunCodec.Schema, Version: RunCodec.Version, Key: "current"})
-	write("verdict.json", codecEnvelope{Schema: VerdictCodec.Schema, Version: VerdictCodec.Version, Key: "v"})
+	// One stale-version envelope, one unsealed pre-seal legacy entry, one
+	// current run envelope and one current verdict envelope.
+	write("stale.json", true, codecEnvelope{Schema: RunCodec.Schema, Version: RunCodec.Version - 1, Key: "old"})
+	write("legacy.json", false, map[string]any{"schema_version": 2, "key": "older", "stats": map[string]any{}})
+	write("valid.json", true, codecEnvelope{Schema: RunCodec.Schema, Version: RunCodec.Version, Key: "current"})
+	write("verdict.json", true, codecEnvelope{Schema: VerdictCodec.Schema, Version: VerdictCodec.Version, Key: "v"})
 	removed, err := Scrub(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -152,5 +162,99 @@ func TestScrubRemovesStaleEntries(t *testing.T) {
 	}
 	if len(cacheFiles(t, dir)) != 2 {
 		t.Fatal("valid entries removed or stale entries kept")
+	}
+}
+
+func TestScrubStoreQuarantinesAndEnforcesQuota(t *testing.T) {
+	fsys := hostfs.NewMem(hostfs.Plan{})
+	dir := "cache"
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		f, err := fsys.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	env := func(key string) []byte {
+		payload, _ := json.Marshal(codecEnvelope{Schema: SnapshotCodec.Schema, Version: SnapshotCodec.Version, Key: key})
+		return hostfs.Seal(payload)
+	}
+	// A referenced entry, an unreferenced entry, a corrupt entry (one digit
+	// flipped inside the sealed payload) and an orphaned temp file.
+	write("kept.json", env("kept"))
+	write("orphan.json", env("orphan"))
+	corrupt := env("bad")
+	for i := len(corrupt) - 1; i >= 0; i-- {
+		if corrupt[i] >= '0' && corrupt[i] <= '8' {
+			corrupt[i]++
+			break
+		}
+	}
+	write("bad.json", corrupt)
+	write("kept.tmp123", []byte("partial"))
+	counters := &StorageCounters{}
+	rep, err := ScrubStore(fsys, dir, ScrubOptions{
+		Referenced: map[string]bool{"kept": true},
+		Counters:   counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 || rep.RemovedUnreferenced != 1 || rep.RemovedTemp != 1 || rep.Kept != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if counters.ChecksumFailures.Load() != 1 || counters.Quarantined.Load() != 1 {
+		t.Fatalf("counters = %+v", counters.Snapshot())
+	}
+	if _, err := fsys.ReadFile(filepath.Join(dir, quarantineDir, "bad.json")); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if _, err := fsys.ReadFile(filepath.Join(dir, "kept.json")); err != nil {
+		t.Fatalf("referenced entry removed: %v", err)
+	}
+
+	// Quota pressure: a tiny quota must not evict the referenced survivor.
+	rep, err = ScrubStore(fsys, dir, ScrubOptions{
+		Referenced: map[string]bool{"kept": true},
+		QuotaBytes: 1,
+		Counters:   counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedQuota != 0 || rep.Kept != 1 {
+		t.Fatalf("quota evicted a referenced entry: %+v", rep)
+	}
+
+	// An unreferenced survivor under quota pressure goes.
+	write("bulky.json", env("bulky"))
+	rep, err = ScrubStore(fsys, dir, ScrubOptions{
+		Referenced: map[string]bool{"kept": true, "bulky": true},
+		QuotaBytes: 1,
+		Counters:   counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kept != 2 {
+		t.Fatalf("setup: %+v", rep)
+	}
+	rep, err = ScrubStore(fsys, dir, ScrubOptions{
+		Referenced: map[string]bool{"kept": true},
+		QuotaBytes: int64(len(env("kept"))),
+		Counters:   counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedUnreferenced != 1 {
+		t.Fatalf("unreferenced survivor kept: %+v", rep)
 	}
 }

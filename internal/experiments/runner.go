@@ -28,6 +28,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -189,6 +190,18 @@ func (r *Runner) SetCacheDir(dir string) {
 		return
 	}
 	r.s.disk = newDiskCache(dir)
+}
+
+// SetStorageObserver routes the disk cache's integrity/failure logging and
+// counters (quarantines, checksum failures, write errors). Call after
+// SetCacheDir — enabling or moving the cache resets the observer — and
+// before Run.
+func (r *Runner) SetStorageObserver(log *slog.Logger, counters *StorageCounters) {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if r.s.disk != nil {
+		r.s.disk.blobs.SetObserver(log, counters)
+	}
 }
 
 // SetTimelineDir enables per-run Chrome trace-event timelines: every fresh

@@ -6,15 +6,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	iofs "io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lightwsp/internal/compiler"
 	"lightwsp/internal/core"
+	"lightwsp/internal/hostfs"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/mem"
 	"lightwsp/internal/probe"
@@ -58,7 +62,16 @@ var (
 	ErrNoSession = errors.New("no such session")
 	// ErrSessionClosed reports an operation against a closed session handle.
 	ErrSessionClosed = errors.New("session closed")
+	// ErrDurabilityLost reports that a journal append failed past the retry
+	// budget: the write-ahead contract cannot be honored, so the operation
+	// did not run. The store flips into degraded mode (Degraded reports it,
+	// RecheckDurability probes for recovery); servers should answer 503
+	// with Retry-After instead of crashing or lying about durability.
+	ErrDurabilityLost = errors.New("session durability lost")
 )
+
+// journalAttempts bounds appendRecord's transient-I/O retries.
+const journalAttempts = 3
 
 // sessionRetain bounds the snapshot refs a manifest keeps: enough depth that
 // a truncated newest snapshot (power loss mid-write) still leaves several
@@ -205,37 +218,121 @@ type SessionStatus struct {
 // content-addressed snapshot blob cache.
 type SessionStore struct {
 	dir   string
+	fs    hostfs.FS
 	blobs *BlobCache
 
 	// OnSnapshot, when non-nil, observes every durable snapshot write with
 	// its wall-clock cost (telemetry). Set before serving.
 	OnSnapshot func(id string, wall time.Duration)
 
+	log        *slog.Logger
+	counters   *StorageCounters
+	skipVerify bool
+	sleep      func(time.Duration) // retry backoff sleep; replaceable in tests
+
+	// degraded is the sticky graceful-degradation flag: set when a journal
+	// append exhausts its retries, cleared by the next successful durable
+	// write or RecheckDurability probe.
+	degraded atomic.Bool
+
 	mu   sync.Mutex
 	open map[string]*Session
 }
 
-// OpenSessionStore opens (creating if needed) a session store rooted at dir.
+// OpenSessionStore opens (creating if needed) a session store rooted at dir
+// on the real host filesystem.
 func OpenSessionStore(dir string) (*SessionStore, error) {
+	return OpenSessionStoreFS(dir, hostfs.Disk())
+}
+
+// OpenSessionStoreFS opens a session store over an injectable host
+// filesystem; tests and the diskfuzz campaign pass hostfs.NewMem/Inject/
+// WithRetry stacks, production passes hostfs.Disk().
+func OpenSessionStoreFS(dir string, fsys hostfs.FS) (*SessionStore, error) {
 	if dir == "" {
 		return nil, errors.New("experiments: empty session store dir")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
 		return nil, err
 	}
 	return &SessionStore{
-		dir:   dir,
-		blobs: NewBlobCache(filepath.Join(dir, "blobs")),
-		open:  map[string]*Session{},
+		dir:      dir,
+		fs:       fsys,
+		blobs:    NewBlobCacheFS(filepath.Join(dir, "blobs"), fsys),
+		counters: DefaultStorageCounters,
+		sleep:    time.Sleep,
+		open:     map[string]*Session{},
 	}, nil
 }
 
 // Dir returns the store's root directory.
 func (st *SessionStore) Dir() string { return st.dir }
 
+// SetObserver routes the store's failure logging and counters (shared with
+// its blob cache); nil log discards, nil counters keeps the process-wide
+// default. Set before opening sessions.
+func (st *SessionStore) SetObserver(log *slog.Logger, counters *StorageCounters) {
+	st.log = log
+	if counters != nil {
+		st.counters = counters
+	}
+	st.blobs.SetObserver(log, counters)
+}
+
+// SetInsecureSkipVerify disables integrity verification on every read path
+// (snapshot blobs, manifests, journal records) — the diskfuzz sabotage
+// hook. Never set in production.
+func (st *SessionStore) SetInsecureSkipVerify(v bool) {
+	st.skipVerify = v
+	st.blobs.SetInsecureSkipVerify(v)
+}
+
+// SetRetrySleep replaces the backoff sleep between journal-append retries;
+// tests and fuzz campaigns pass a no-op. Set before opening sessions.
+func (st *SessionStore) SetRetrySleep(f func(time.Duration)) {
+	if f != nil {
+		st.sleep = f
+	}
+}
+
+// Degraded reports whether the store has lost durability: a journal append
+// failed past its retry budget and no durable write has succeeded since.
+// Serving layers should fail session mutations fast (503 + Retry-After)
+// while this holds.
+func (st *SessionStore) Degraded() bool { return st.degraded.Load() }
+
+// RecheckDurability actively probes the store's disk with a create + write
+// + fsync + remove round trip and clears the degraded flag if the disk has
+// recovered. It reports whether the store is healthy.
+func (st *SessionStore) RecheckDurability() bool {
+	name := filepath.Join(st.dir, ".durability-probe")
+	f, err := st.fs.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err == nil {
+		_, werr := f.Write([]byte("probe\n"))
+		serr := f.Sync()
+		cerr := f.Close()
+		st.fs.Remove(name)
+		if werr == nil && serr == nil && cerr == nil {
+			st.degraded.Store(false)
+			return true
+		}
+	}
+	st.degraded.Store(true)
+	return false
+}
+
+// markDegraded flips the store into degraded mode after a durability loss.
+func (st *SessionStore) markDegraded(id string, cause error) {
+	st.counters.DurabilityLost.Add(1)
+	if !st.degraded.Swap(true) && st.log != nil {
+		st.log.Error("session store degraded: durable journal appends failing",
+			"dir", st.dir, "session", id, "error", cause)
+	}
+}
+
 // List returns the IDs of every session present on disk, sorted.
 func (st *SessionStore) List() ([]string, error) {
-	ents, err := os.ReadDir(st.dir)
+	ents, err := st.fs.ReadDir(st.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +341,7 @@ func (st *SessionStore) List() ([]string, error) {
 		if !ent.IsDir() || !ValidSessionID(ent.Name()) {
 			continue
 		}
-		if _, err := os.Stat(filepath.Join(st.dir, ent.Name(), journalName)); err == nil {
+		if _, err := st.fs.Stat(filepath.Join(st.dir, ent.Name(), journalName)); err == nil {
 			ids = append(ids, ent.Name())
 		}
 	}
@@ -290,20 +387,28 @@ func (st *SessionStore) Create(id string, spec SessionSpec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.Mkdir(s.dir, 0o755); err != nil {
-		if os.IsExist(err) {
-			return nil, fmt.Errorf("experiments: session %q: %w", id, ErrSessionExists)
-		}
+	if err := st.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(filepath.Join(s.dir, journalName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	// The journal's O_EXCL create is the existence check: a directory husk
+	// left by a crash between mkdir and journal create does not block the ID.
+	f, err := st.fs.OpenFile(filepath.Join(s.dir, journalName), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
+		if errors.Is(err, iofs.ErrExist) {
+			return nil, fmt.Errorf("experiments: session %q: %w", id, ErrSessionExists)
+		}
 		return nil, err
 	}
 	s.journal = f
 	if err := s.appendRecord(journalRecord{Op: "create", Spec: &spec}); err != nil {
 		f.Close()
 		return nil, err
+	}
+	// The create record is synced; make the journal's directory entry just
+	// as durable, or a power cut could forget the session existed.
+	if err := st.fs.SyncDir(s.dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: session %q: journal dir sync: %w", id, err)
 	}
 	sys, err := s.rt.NewSystem()
 	if err != nil {
@@ -331,9 +436,9 @@ func (st *SessionStore) Open(ctx context.Context, id string) (*Session, error) {
 	if s, ok := st.open[id]; ok {
 		return s, nil
 	}
-	records, f, err := openJournal(filepath.Join(st.dir, id, journalName))
+	records, f, err := openJournalFS(st, filepath.Join(st.dir, id, journalName))
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, iofs.ErrNotExist) {
 			return nil, fmt.Errorf("experiments: session %q: %w", id, ErrNoSession)
 		}
 		return nil, err
@@ -378,19 +483,28 @@ func (st *SessionStore) Remove(id string) error {
 		if !ValidSessionID(id) {
 			return fmt.Errorf("experiments: invalid session id %q", id)
 		}
-		if _, err := os.Stat(filepath.Join(st.dir, id, journalName)); err != nil {
+		if _, err := st.fs.Stat(filepath.Join(st.dir, id, journalName)); err != nil {
 			return fmt.Errorf("experiments: session %q: %w", id, ErrNoSession)
 		}
 		// Not open: read the manifest directly for the blob refs.
 		var m sessionManifest
-		if SessionCodec.Load(NewBlobCache(filepath.Join(st.dir, id)), manifestName, id, &m) {
+		if SessionCodec.Load(st.manifestCache(id), manifestName, id, &m) {
 			refs = m.Snapshots
 		}
 	}
 	for _, ref := range refs {
 		st.blobs.Remove(ref.Hash)
 	}
-	return os.RemoveAll(filepath.Join(st.dir, id))
+	return st.fs.RemoveAll(filepath.Join(st.dir, id))
+}
+
+// manifestCache builds the one-entry manifest store of a session directory
+// with the store's filesystem and observability wired in.
+func (st *SessionStore) manifestCache(id string) *BlobCache {
+	man := NewBlobCacheFS(filepath.Join(st.dir, id), st.fs)
+	man.SetObserver(st.log, st.counters)
+	man.SetInsecureSkipVerify(st.skipVerify)
+	return man
 }
 
 // Close closes every open session handle (journal file descriptors). The
@@ -410,10 +524,46 @@ func (st *SessionStore) Close() {
 	}
 }
 
-// ScrubBlobs removes unrecognized entries from the shared snapshot blob
-// directory (truncated writes, retired schema versions).
+// ScrubBlobs verifies, garbage-collects and self-heals the shared snapshot
+// blob directory: corrupt blobs are quarantined, unrecognized entries
+// (truncated writes, retired schema versions, orphaned temp files) and
+// blobs no session manifest references anymore are removed. It returns the
+// number of entries removed or quarantined.
 func (st *SessionStore) ScrubBlobs() (int, error) {
-	return Scrub(st.blobs.Dir())
+	rep, err := st.Scrub(0)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Removed() + rep.Quarantined, nil
+}
+
+// Scrub is ScrubBlobs with a full report and an optional size quota in
+// bytes (0 = unbounded): after validity and reference GC, quota pressure
+// evicts the oldest unreferenced survivors first. Referenced blobs are
+// never quota-evicted — the quota trims cache weight, it must not break a
+// session. A blob GC'd in the window between a concurrent snapshot's blob
+// write and its manifest write only costs that restore a fallback to an
+// older snapshot; restores never trust a missing blob.
+func (st *SessionStore) Scrub(quotaBytes int64) (ScrubReport, error) {
+	ids, err := st.List()
+	if err != nil {
+		return ScrubReport{}, err
+	}
+	refs := map[string]bool{}
+	for _, id := range ids {
+		var m sessionManifest
+		if SessionCodec.Load(st.manifestCache(id), manifestName, id, &m) {
+			for _, r := range m.Snapshots {
+				refs[r.Hash] = true
+			}
+		}
+	}
+	return ScrubStore(st.fs, st.blobs.Dir(), ScrubOptions{
+		Referenced: refs,
+		QuotaBytes: quotaBytes,
+		Counters:   st.counters,
+		Log:        st.log,
+	})
 }
 
 // allSeqs suppresses every event: the lastSeq of a client that has seen the
@@ -435,7 +585,7 @@ type Session struct {
 	op          sync.Mutex
 	closed      bool
 	corrupt     bool // in-memory state diverged from the journal (canceled mid-record)
-	journal     *os.File
+	journal     hostfs.File
 	record      uint64 // last journal record number
 	lastOp      string // op of the last journal record
 	sys         *machine.System
@@ -482,7 +632,7 @@ func newSession(st *SessionStore, id string, spec SessionSpec) (*Session, error)
 		Spec:  spec,
 		store: st,
 		dir:   filepath.Join(st.dir, id),
-		man:   NewBlobCache(filepath.Join(st.dir, id)),
+		man:   st.manifestCache(id),
 	}
 	rt, err := core.NewRuntimeFor(prog, ccfg, mcfg, sch, probe.SinkFunc(s.onProbe))
 	if err != nil {
@@ -582,7 +732,17 @@ func (s *Session) Status() SessionStatus {
 }
 
 // appendRecord journals rec (assigning the next record number) and fsyncs
-// before the caller executes it: the write-ahead contract.
+// before the caller executes it: the write-ahead contract. The line is
+// integrity-sealed (CRC-32C prefix) so a reopen can tell a torn append from
+// a durable record.
+//
+// Transient I/O failures (EIO and friends) are retried with bounded
+// backoff; between attempts the journal is reopened from disk, which
+// truncates whatever partial line the failed attempt left behind. A
+// failure that survives the retry budget — or one that retrying cannot fix,
+// like ENOSPC — flips the store into degraded mode and surfaces as
+// ErrDurabilityLost: the operation was never executed, and the caller can
+// safely shed load (503 + Retry-After) until the disk recovers.
 func (s *Session) appendRecord(rec journalRecord) error {
 	s.record++
 	rec.N = s.record
@@ -590,13 +750,58 @@ func (s *Session) appendRecord(rec journalRecord) error {
 	if err != nil {
 		return err
 	}
-	if _, err := s.journal.Write(append(data, '\n')); err != nil {
-		return fmt.Errorf("experiments: session %q: journal append: %w", s.ID, err)
+	line := append(hostfs.SealLine(data), '\n')
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for attempt := 1; attempt <= journalAttempts; attempt++ {
+		if attempt > 1 {
+			s.store.counters.Retries.Add(1)
+			s.store.sleep(backoff)
+			backoff *= 2
+			if err := s.reopenForRetry(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if _, err := s.journal.Write(line); err != nil {
+			lastErr = err
+			if !hostfs.Transient(err) {
+				break
+			}
+			continue
+		}
+		if err := s.journal.Sync(); err != nil {
+			lastErr = err
+			if !hostfs.Transient(err) {
+				break
+			}
+			continue
+		}
+		s.lastOp = rec.Op
+		s.store.degraded.Store(false)
+		return nil
 	}
-	if err := s.journal.Sync(); err != nil {
-		return fmt.Errorf("experiments: session %q: journal sync: %w", s.ID, err)
+	s.store.markDegraded(s.ID, lastErr)
+	return fmt.Errorf("experiments: session %q: journal append: %w: %w", s.ID, ErrDurabilityLost, lastErr)
+}
+
+// reopenForRetry reopens the journal from disk between append attempts —
+// discarding the partial line a failed write may have left — and verifies
+// the durable record count still matches what this session has appended.
+func (s *Session) reopenForRetry() error {
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
 	}
-	s.lastOp = rec.Op
+	records, f, err := openJournalFS(s.store, filepath.Join(s.dir, journalName))
+	if err != nil {
+		return err
+	}
+	if uint64(len(records)) != s.record-1 {
+		f.Close()
+		return fmt.Errorf("journal reopened with %d records, want %d", len(records), s.record-1)
+	}
+	s.journal = f
 	return nil
 }
 
@@ -830,7 +1035,7 @@ func (s *Session) reloadJournal() ([]journalRecord, error) {
 		s.journal = nil
 		s.corrupt = true // until a restore completes, memory may trail disk
 	}
-	records, f, err := openJournal(filepath.Join(s.dir, journalName))
+	records, f, err := openJournalFS(s.store, filepath.Join(s.dir, journalName))
 	if err != nil {
 		s.corrupt = true
 		return nil, fmt.Errorf("experiments: session %q: %w", s.ID, err)
@@ -927,25 +1132,43 @@ func (s *Session) loadManifestRefs() []SnapshotRef {
 	return m.Snapshots
 }
 
-// openJournal reads and validates a journal: a prefix of records numbered
-// from 1 whose first record is "create". A torn tail — a partial line, or a
-// line that fails to parse — marks where a power failure cut an append; it
-// is truncated away and the file is reopened for appending after the last
-// durable record.
-func openJournal(path string) ([]journalRecord, *os.File, error) {
-	data, err := os.ReadFile(path)
+// openJournalFS reads and validates a journal: a prefix of records numbered
+// from 1 whose first record is "create". Each line carries an integrity
+// seal (CRC-32C prefix); a line with no seal is a legacy pre-seal record
+// and falls back to plain JSON, so old journals replay transparently and
+// their tails get sealed records appended.
+//
+// The first invalid line severs the journal. A torn tail — a partial line,
+// or a line that fails to parse — marks where a power failure cut an
+// append; a checksum mismatch marks where the disk corrupted a record in
+// place. Either way nothing after the sever point can be trusted (record
+// N+1 is meaningless without record N), so the severed bytes are
+// quarantined to <journal>.quarantined for forensics, the journal is
+// truncated at the last durable record, and the file is reopened for
+// appending. The session heals by replaying the surviving prefix.
+func openJournalFS(st *SessionStore, path string) ([]journalRecord, hostfs.File, error) {
+	data, err := st.fs.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
 	var records []journalRecord
 	valid := 0
+	var severed error
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
 		if nl < 0 {
 			break // no newline: torn final append
 		}
+		line := data[off : off+nl]
+		payload, uerr := hostfs.UnsealLine(line, !st.skipVerify)
+		if errors.Is(uerr, hostfs.ErrNotSealed) {
+			payload = line // legacy pre-seal record: plain JSON
+		} else if uerr != nil {
+			severed = uerr
+			break
+		}
 		var rec journalRecord
-		if json.Unmarshal(data[off:off+nl], &rec) != nil || rec.N != uint64(len(records)+1) || !validRecord(rec) {
+		if json.Unmarshal(payload, &rec) != nil || rec.N != uint64(len(records)+1) || !validRecord(rec) {
 			break
 		}
 		records = append(records, rec)
@@ -956,11 +1179,25 @@ func openJournal(path string) ([]journalRecord, *os.File, error) {
 		return nil, nil, fmt.Errorf("journal %s: no valid records", path)
 	}
 	if valid < len(data) {
-		if err := os.Truncate(path, int64(valid)); err != nil {
+		tail := data[valid:]
+		if qf, qerr := st.fs.OpenFile(path+".quarantined", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); qerr == nil {
+			qf.Write(tail)
+			qf.Close()
+		}
+		st.counters.JournalTruncations.Add(1)
+		if errors.Is(severed, hostfs.ErrCorrupt) {
+			st.counters.ChecksumFailures.Add(1)
+			st.counters.Quarantined.Add(1)
+		}
+		if st.log != nil {
+			st.log.Warn("journal tail severed", "path", path,
+				"records", len(records), "bytes", len(tail), "cause", severed)
+		}
+		if err := st.fs.Truncate(path, int64(valid)); err != nil {
 			return nil, nil, err
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := st.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}

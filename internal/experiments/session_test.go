@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"lightwsp/internal/hostfs"
 	"lightwsp/internal/wsperr"
 )
 
@@ -583,5 +584,248 @@ func TestSessionListAndSnapshotRetention(t *testing.T) {
 	}
 	if len(ents) != len(s.refs) {
 		t.Fatalf("%d blobs on disk, %d refs retained (pruned blobs must be deleted)", len(ents), len(s.refs))
+	}
+}
+
+// TestSessionBitFlippedSnapshotQuarantined covers the corruption class only
+// a checksum catches: one ASCII digit flipped inside the newest snapshot
+// blob, so the file still parses as JSON and still carries a plausible
+// codec envelope. The restore must detect it via the integrity seal,
+// quarantine the blob, fall back to an older snapshot, and replay a
+// byte-identical stream — never load the corrupt state.
+func TestSessionBitFlippedSnapshotQuarantined(t *testing.T) {
+	spec := sessionSpecForTest()
+	targets := []uint64{1500, 10_000}
+	want := referenceStream(t, spec, targets)
+
+	dir := t.TempDir()
+	st, err := OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Create("a", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range targets {
+		if err := s.Advance(context.Background(), target, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refs := append([]SnapshotRef(nil), s.refs...)
+	if len(refs) < 2 {
+		t.Fatalf("want >= 2 snapshots, got %d", len(refs))
+	}
+	st.Close()
+
+	// Flip one digit inside the sealed payload (past the seal header), from
+	// the back where the PM image array lives.
+	newest := filepath.Join(dir, "blobs", refs[len(refs)-1].Hash+".json")
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := false
+	for i := len(data) - 1; i > len(data)/2; i-- {
+		if data[i] >= '0' && data[i] <= '8' {
+			data[i]++
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no digit to flip in snapshot blob")
+	}
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Prove this is the checksum-only class: without the seal, the payload
+	// still parses as JSON and still claims a current codec envelope.
+	payload, err := hostfs.UnsealPayload(data, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env codecEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		t.Fatalf("flipped blob no longer parses as JSON — wrong corruption class for this test: %v", err)
+	}
+	if !knownEnvelope(env) {
+		t.Fatal("flipped blob lost its envelope — wrong corruption class for this test")
+	}
+
+	st2, err := OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	counters := &StorageCounters{}
+	st2.SetObserver(nil, counters)
+	s2, err := st2.Open(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("open with bit-flipped newest snapshot: %v", err)
+	}
+	var replay []string
+	if err := s2.Resume(context.Background(), 0, collectLines(&replay), nil); err != nil {
+		t.Fatal(err)
+	}
+	requireSameStream(t, replay, want, "stream after snapshot bit flip")
+
+	if counters.ChecksumFailures.Load() == 0 || counters.Quarantined.Load() == 0 {
+		t.Fatalf("corruption not counted: %+v", counters.Snapshot())
+	}
+	q := filepath.Join(dir, "blobs", quarantineDir, refs[len(refs)-1].Hash+".json")
+	if _, err := os.Stat(q); err != nil {
+		t.Fatalf("corrupt blob not quarantined: %v", err)
+	}
+}
+
+// TestSessionCorruptMidJournalRecordSevered flips one digit inside a
+// middle journal record. The corrupt record and everything after it are
+// untrustworthy; the journal must be severed there, the severed bytes
+// quarantined, and the session must reopen from the surviving prefix and
+// regenerate — record for record — the same journal and stream an
+// uninterrupted run produced.
+func TestSessionCorruptMidJournalRecordSevered(t *testing.T) {
+	spec := sessionSpecForTest()
+	want := referenceStream(t, spec, []uint64{1500})
+
+	dir := t.TempDir()
+	st, err := OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := st.Create("a", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(context.Background(), 1500, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	records := s.record
+	st.Close()
+
+	journal := filepath.Join(dir, "a", journalName)
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if uint64(len(lines)) != records || len(lines) < 4 {
+		t.Fatalf("journal has %d lines, want %d (>= 4)", len(lines), records)
+	}
+	// Corrupt the fourth record inside its sealed JSON (past the 9-byte CRC
+	// prefix); a digit flip keeps the JSON well-formed, so only the
+	// checksum can catch it.
+	line := []byte(lines[3])
+	flipped := false
+	for i := 9; i < len(line); i++ {
+		if line[i] >= '0' && line[i] <= '8' {
+			line[i]++
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no digit to flip in journal record")
+	}
+	lines[3] = string(line)
+	if err := os.WriteFile(journal, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	counters := &StorageCounters{}
+	st2.SetObserver(nil, counters)
+	s2, err := st2.Open(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("open with corrupt mid-journal record: %v", err)
+	}
+	if s2.record != 3 {
+		t.Fatalf("journal severed at record %d, want 3", s2.record)
+	}
+	if counters.JournalTruncations.Load() == 0 || counters.ChecksumFailures.Load() == 0 {
+		t.Fatalf("corruption not counted: %+v", counters.Snapshot())
+	}
+	if q, err := os.ReadFile(journal + ".quarantined"); err != nil || len(q) == 0 {
+		t.Fatalf("severed tail not quarantined: %v (%d bytes)", err, len(q))
+	}
+
+	// Re-issuing the advance regenerates the identical journal and stream:
+	// the owed-snapshot derivation makes the records converge.
+	if err := s2.Advance(context.Background(), 1500, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s2.record != records {
+		t.Fatalf("regenerated journal has %d records, want %d", s2.record, records)
+	}
+	var replay []string
+	if err := s2.Resume(context.Background(), 0, collectLines(&replay), nil); err != nil {
+		t.Fatal(err)
+	}
+	requireSameStream(t, replay, want, "stream after journal sever + re-advance")
+}
+
+// TestSessionLegacyUnsealedJournalMigrates proves a pre-seal journal (plain
+// JSON lines, no CRC prefix) replays transparently and new appends are
+// sealed — old stores upgrade in place.
+func TestSessionLegacyUnsealedJournalMigrates(t *testing.T) {
+	spec := sessionSpecForTest()
+	want := referenceStream(t, spec, []uint64{700})
+
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "a"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-write an unsealed journal as PR-8 wrote them.
+	var legacy strings.Builder
+	for _, rec := range []journalRecord{
+		{N: 1, Op: "create", Spec: &spec},
+		{N: 2, Op: "advance", Target: 600},
+	} {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy.Write(b)
+		legacy.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a", journalName), []byte(legacy.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenSessionStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s, err := st.Open(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("open legacy journal: %v", err)
+	}
+	if err := s.Advance(context.Background(), 700, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var replay []string
+	if err := s.Resume(context.Background(), 0, collectLines(&replay), nil); err != nil {
+		t.Fatal(err)
+	}
+	requireSameStream(t, replay, want, "stream after legacy-journal migration")
+
+	// The tail appended by this store is sealed.
+	data, err := os.ReadFile(filepath.Join(dir, "a", journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	if _, err := hostfs.UnsealLine([]byte(last), true); err != nil {
+		t.Fatalf("new append not sealed: %v (%q)", err, last)
 	}
 }

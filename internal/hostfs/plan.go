@@ -1,0 +1,183 @@
+package hostfs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan describes a host-storage fault campaign, in the style of
+// internal/faults: a seed plus percentage dimensions, every individual
+// decision derived by hashing (seed, dimension, decision counter) so a
+// plan replays identically from its textual form. The zero value is a
+// perfect disk.
+//
+// The operation-level dimensions (consulted by Inject) model the errors a
+// filesystem returns; the crash-survival dimensions (consulted by MemFS)
+// model what a power cut does to writes the device acknowledged but had
+// not persisted.
+type Plan struct {
+	// Seed drives every hashed decision.
+	Seed int64 `json:"seed"`
+
+	// ENOSPCPct fails write-path operations (create, write, rename,
+	// mkdir) with ENOSPC.
+	ENOSPCPct int `json:"enospc,omitempty"`
+	// EIOPct fails I/O operations (read, write, sync, rename, remove,
+	// truncate) with EIO. Injected EIOs re-roll per attempt, so they are
+	// the transient failures bounded-backoff retry can outlast.
+	EIOPct int `json:"eio,omitempty"`
+	// ShortPct makes a file write persist only a hashed prefix before
+	// failing — a torn write the caller sees as an error.
+	ShortPct int `json:"short,omitempty"`
+	// SlowPct delays operations by a hashed latency up to SlowMaxMs
+	// milliseconds.
+	SlowPct   int `json:"slow,omitempty"`
+	SlowMaxMs int `json:"slow_max_ms,omitempty"`
+
+	// FsyncLiePct makes MemFS report a successful Sync without actually
+	// promoting the data to durable — the firmware lie a later Crash
+	// exposes.
+	FsyncLiePct int `json:"fsynclie,omitempty"`
+	// KeepPct, TornPct and FlipPct decide, per file at Crash time, what
+	// happens to acknowledged-but-unsynced bytes: survive whole (Keep),
+	// survive as a torn prefix (Torn), or survive with one ASCII digit
+	// flipped (Flip — corruption that still parses as JSON, exactly what
+	// checksums catch and JSON parsing does not). The remainder reverts
+	// to the last honestly-synced content.
+	KeepPct int `json:"keep,omitempty"`
+	TornPct int `json:"torn,omitempty"`
+	FlipPct int `json:"flip,omitempty"`
+}
+
+// Zero reports whether the plan injects nothing (a perfect disk).
+func (p Plan) Zero() bool {
+	return p.ENOSPCPct == 0 && p.EIOPct == 0 && p.ShortPct == 0 && p.SlowPct == 0 &&
+		p.FsyncLiePct == 0 && p.KeepPct == 0 && p.TornPct == 0 && p.FlipPct == 0
+}
+
+// String renders the plan in ParsePlan's grammar (without the seed).
+func (p Plan) String() string {
+	if p.Zero() {
+		return "none"
+	}
+	var parts []string
+	add := func(k string, v int) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.Itoa(v))
+		}
+	}
+	add("enospc", p.ENOSPCPct)
+	add("eio", p.EIOPct)
+	add("short", p.ShortPct)
+	if p.SlowPct != 0 {
+		parts = append(parts, fmt.Sprintf("slow=%d:%d", p.SlowPct, p.SlowMaxMs))
+	}
+	add("fsynclie", p.FsyncLiePct)
+	add("keep", p.KeepPct)
+	add("torn", p.TornPct)
+	add("flip", p.FlipPct)
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the textual plan grammar:
+//
+//	enospc=5,eio=5,short=5,slow=2:40,fsynclie=20,keep=10,torn=30,flip=10
+//
+// Each key is a percentage in [0,100]; slow=PCT:MAXMS carries its latency
+// cap. Empty and "none" parse to the zero plan. The seed is not part of
+// the grammar; set Plan.Seed after parsing.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("hostfs: plan term %q: want key=value", part)
+		}
+		if key == "slow" {
+			pctStr, msStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Plan{}, fmt.Errorf("hostfs: plan term %q: want slow=PCT:MAXMS", part)
+			}
+			pct, err := parsePct(pctStr)
+			if err != nil {
+				return Plan{}, fmt.Errorf("hostfs: plan term %q: %v", part, err)
+			}
+			ms, err := strconv.Atoi(msStr)
+			if err != nil || ms < 0 {
+				return Plan{}, fmt.Errorf("hostfs: plan term %q: bad latency cap", part)
+			}
+			p.SlowPct, p.SlowMaxMs = pct, ms
+			continue
+		}
+		pct, err := parsePct(val)
+		if err != nil {
+			return Plan{}, fmt.Errorf("hostfs: plan term %q: %v", part, err)
+		}
+		switch key {
+		case "enospc":
+			p.ENOSPCPct = pct
+		case "eio":
+			p.EIOPct = pct
+		case "short":
+			p.ShortPct = pct
+		case "fsynclie":
+			p.FsyncLiePct = pct
+		case "keep":
+			p.KeepPct = pct
+		case "torn":
+			p.TornPct = pct
+		case "flip":
+			p.FlipPct = pct
+		default:
+			return Plan{}, fmt.Errorf("hostfs: unknown plan dimension %q", key)
+		}
+	}
+	if p.KeepPct+p.TornPct+p.FlipPct > 100 {
+		return Plan{}, fmt.Errorf("hostfs: keep+torn+flip exceed 100%%")
+	}
+	return p, nil
+}
+
+func parsePct(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 100 {
+		return 0, fmt.Errorf("bad percentage %q", s)
+	}
+	return n, nil
+}
+
+// splitmix64 is the avalanche mixer behind every hashed decision (the same
+// construction internal/faults uses): statistically uniform, trivially
+// reproducible, and stateless.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix folds any number of values into one hashed decision word.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x2545f4914f6cdd1d)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// strHash folds a path into a decision word (FNV-1a).
+func strHash(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

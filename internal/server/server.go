@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/hostfs"
 	"lightwsp/internal/obs"
 	"lightwsp/internal/wsperr"
 )
@@ -63,6 +64,10 @@ type Config struct {
 	// idle session on this wall-clock period, bounding replay cost after a
 	// hard crash even when clients stall between cadence points.
 	SnapshotInterval time.Duration
+	// SessionFS, when non-nil, replaces the host filesystem beneath the
+	// session store — tests and fault campaigns inject hostfs.NewMem/Inject
+	// stacks here. Nil uses the real disk.
+	SessionFS hostfs.FS
 }
 
 // Server is the HTTP serving layer over one process-wide Runner: every
@@ -107,6 +112,11 @@ type Server struct {
 	flightMu      sync.Mutex
 	activeFlights map[string]*obs.FlightRecorder
 
+	// storage tallies the durable layer's detected failures (quarantines,
+	// checksum mismatches, write errors, durability loss) across the result
+	// cache and the session store; exposed on /metrics.
+	storage *experiments.StorageCounters
+
 	// Durable sessions: the store (nil when Config.SessionDir is empty or
 	// failed to open), the periodic-snapshot ticker's stop plumbing, and the
 	// count of sessions restored at startup.
@@ -137,6 +147,7 @@ func New(cfg Config) *Server {
 		tel:           newTelemetry(),
 		runs:          newRunLog(),
 		activeFlights: map[string]*obs.FlightRecorder{},
+		storage:       &experiments.StorageCounters{},
 	}
 	s.log = cfg.Logger
 	if s.log == nil {
@@ -153,9 +164,11 @@ func New(cfg Config) *Server {
 	if cfg.TimelineDir != "" {
 		s.runner.SetTimelineDir(cfg.TimelineDir)
 	}
+	s.runner.SetStorageObserver(s.log, s.storage)
 	s.pool = s.runner.Pool()
 	if cfg.CacheDir != "" {
 		s.blobs = experiments.NewBlobCache(cfg.CacheDir)
+		s.blobs.SetObserver(s.log, s.storage)
 	}
 	if cfg.SessionDir != "" {
 		s.initSessions()
@@ -296,6 +309,11 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	if ri := reqInfoFrom(r.Context()); ri != nil && ri.err == nil {
 		ri.err = err
 	}
+	if errors.Is(err, experiments.ErrDurabilityLost) {
+		// Degraded disk, not a dead server: invite the client back after
+		// the store has had a chance to recover.
+		w.Header().Set("Retry-After", "10")
+	}
 	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
 }
 
@@ -318,6 +336,10 @@ func statusOf(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, experiments.ErrSessionClosed):
 		return http.StatusGone
+	case errors.Is(err, experiments.ErrDurabilityLost):
+		// The journal cannot be made durable; shed load instead of lying
+		// about persistence (writeErr adds Retry-After).
+		return http.StatusServiceUnavailable
 	case errors.Is(err, wsperr.ErrUnrecoverable):
 		return http.StatusInternalServerError
 	default:

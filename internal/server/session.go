@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/hostfs"
 	"lightwsp/internal/obs"
 )
 
@@ -26,12 +27,17 @@ import (
 // open logs the error and leaves the session endpoints answering 503 rather
 // than taking the rest of the API down with it.
 func (s *Server) initSessions() {
-	st, err := experiments.OpenSessionStore(s.cfg.SessionDir)
+	fsys := s.cfg.SessionFS
+	if fsys == nil {
+		fsys = hostfs.Disk()
+	}
+	st, err := experiments.OpenSessionStoreFS(s.cfg.SessionDir, fsys)
 	if err != nil {
 		s.log.Error("session store unavailable; session endpoints disabled",
 			"dir", s.cfg.SessionDir, "error", err)
 		return
 	}
+	st.SetObserver(s.log, s.storage)
 	st.OnSnapshot = func(id string, wall time.Duration) {
 		s.tel.sessionSnaps.Add(1)
 		us := wall.Microseconds()
@@ -340,6 +346,15 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: fmt.Sprintf(
 			"advance of %d cycles exceeds the per-request budget of %d; advance in smaller steps",
 			req.Target-st.Total, s.cfg.MaxRunCycles)})
+		return
+	}
+	// Graceful degradation: a store that lost durability fails advances
+	// fast (503 + Retry-After via writeErr) instead of burning a worker on
+	// an operation whose journal append cannot be honored. The active probe
+	// clears the flag the moment the disk recovers.
+	if s.sessions.Degraded() && !s.sessions.RecheckDurability() {
+		writeErr(w, r, fmt.Errorf("session store %q cannot persist: %w",
+			s.cfg.SessionDir, experiments.ErrDurabilityLost))
 		return
 	}
 

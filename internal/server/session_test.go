@@ -4,14 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	iofs "io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/hostfs"
 )
 
 // sessionSpec is the test workload: the miniature single-threaded fuzz
@@ -403,4 +407,126 @@ func TestSessionResumeBeyondStreamRejected(t *testing.T) {
 	if len(lines) != 1 || !strings.Contains(lines[0], `"type":"error"`) {
 		t.Fatalf("want one terminal error line, got %v", lines)
 	}
+}
+
+// flakySessionFS wraps a real filesystem and fails every file fsync with
+// ENOSPC while broken — the disk-full failure mode where writes appear to
+// succeed but durability is gone.
+type flakySessionFS struct {
+	hostfs.FS
+	broken atomic.Bool
+}
+
+func (f *flakySessionFS) OpenFile(name string, flag int, perm iofs.FileMode) (hostfs.File, error) {
+	h, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flakySessionFile{File: h, fs: f}, nil
+}
+
+func (f *flakySessionFS) CreateTemp(dir, pattern string) (hostfs.File, error) {
+	h, err := f.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &flakySessionFile{File: h, fs: f}, nil
+}
+
+type flakySessionFile struct {
+	hostfs.File
+	fs *flakySessionFS
+}
+
+func (h *flakySessionFile) Sync() error {
+	if h.fs.broken.Load() {
+		return &iofs.PathError{Op: "sync", Path: h.Name(), Err: syscall.ENOSPC}
+	}
+	return h.File.Sync()
+}
+
+// TestSessionDegradedDiskServes503AndRecovers is the graceful-degradation
+// ladder end to end: a disk that stops honoring fsync turns session
+// advances into 503 + Retry-After (with the degraded gauge up), not a
+// crash and not a silent durability lie — and the store heals itself the
+// moment the disk recovers, converging on the byte-identical stream.
+func TestSessionDegradedDiskServes503AndRecovers(t *testing.T) {
+	ref := engineReference(t, sessionSpec, []uint64{700, 1400})
+
+	ffs := &flakySessionFS{FS: hostfs.Disk()}
+	_, ts := newTestServer(t, Config{Workers: 2, SessionDir: t.TempDir(), SessionFS: ffs})
+
+	if status, body, _ := post(t, ts.URL+"/v1/session", sessionSpec); status != http.StatusCreated {
+		t.Fatalf("create: status %d: %s", status, body)
+	}
+	var live []string
+	status, lines := postStream(t, ts.URL+"/v1/session/alpha/advance", SessionAdvanceRequest{Target: 700})
+	if status != http.StatusOK {
+		t.Fatalf("healthy advance: status %d: %v", status, lines)
+	}
+	live = append(live, lines...)
+
+	// The disk dies. The in-flight advance fails loudly (stream error line
+	// naming durability), because its journal append cannot be made durable.
+	ffs.broken.Store(true)
+	status, lines = postStream(t, ts.URL+"/v1/session/alpha/advance", SessionAdvanceRequest{Target: 1400})
+	if status != http.StatusOK || len(lines) == 0 {
+		t.Fatalf("advance on broken disk: status %d, lines %v", status, lines)
+	}
+	if last := lines[len(lines)-1]; !strings.Contains(last, "durability") {
+		t.Fatalf("stream error does not name durability loss: %s", last)
+	}
+
+	// While degraded, further advances shed load fast: 503 + Retry-After.
+	status, body, hdr := post(t, ts.URL+"/v1/session/alpha/advance", SessionAdvanceRequest{Target: 1400})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded advance: status %d: %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	// The degradation is loud on /metrics.
+	prom := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(prom, "lightwsp_durability_degraded 1") {
+		t.Fatal("degraded gauge not raised")
+	}
+	if !strings.Contains(prom, "lightwsp_storage_durability_lost_total") {
+		t.Fatal("durability-lost counter family missing")
+	}
+
+	// The disk recovers: the pre-flight probe clears the flag and the
+	// session converges on the canonical stream without operator action.
+	ffs.broken.Store(false)
+	status, lines = postStream(t, ts.URL+"/v1/session/alpha/advance", SessionAdvanceRequest{Target: 1400})
+	if status != http.StatusOK {
+		t.Fatalf("healed advance: status %d: %v", status, lines)
+	}
+	live = append(live, lines...)
+
+	status, lines = postStream(t, ts.URL+"/v1/session/alpha/resume", SessionResumeRequest{LastSeq: 0})
+	if status != http.StatusOK {
+		t.Fatalf("resume: status %d", status)
+	}
+	requireLines(t, "stream after degradation + heal", stripResumeHeader(t, lines), ref)
+
+	prom = getText(t, ts.URL+"/metrics")
+	if !strings.Contains(prom, "lightwsp_durability_degraded 0") {
+		t.Fatal("degraded gauge not cleared after heal")
+	}
+}
+
+// getText fetches a URL and returns its body as text.
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
 }

@@ -157,6 +157,23 @@ func (s *Server) WriteProm(w io.Writer) error {
 	p.Family("lightwsp_session_snapshot_duration_us", "histogram", "Durable-snapshot write latency in microseconds (log-2 buckets).")
 	p.Histogram("lightwsp_session_snapshot_duration_us", nil, snapLat)
 
+	// Durable-storage integrity plane: the loud gauges and counters behind
+	// the hostile-disk hardening (quarantine, checksum, degradation).
+	degraded := false
+	if s.sessions != nil {
+		degraded = s.sessions.Degraded()
+	}
+	gauge("lightwsp_durability_degraded", "1 while the session store cannot make journal appends durable (serving 503), else 0.", boolGauge(degraded))
+	sc := s.storage.Snapshot()
+	counter("lightwsp_storage_quarantined_total", "Corrupt artifacts moved aside (blobs and journal tails).", float64(sc.Quarantined))
+	counter("lightwsp_storage_checksum_failures_total", "Integrity-seal mismatches detected on read.", float64(sc.ChecksumFailures))
+	counter("lightwsp_storage_legacy_evictions_total", "Pre-seal artifacts evicted as stale.", float64(sc.LegacyEvictions))
+	counter("lightwsp_storage_write_errors_total", "Best-effort blob writes that failed.", float64(sc.WriteErrors))
+	counter("lightwsp_storage_remove_errors_total", "Blob evictions and prunes that failed.", float64(sc.RemoveErrors))
+	counter("lightwsp_storage_retries_total", "Transient-I/O retries on durable writes.", float64(sc.Retries))
+	counter("lightwsp_storage_journal_truncations_total", "Torn or corrupt journal tails severed on reopen.", float64(sc.JournalTruncations))
+	counter("lightwsp_storage_durability_lost_total", "Journal appends that failed past the retry budget.", float64(sc.DurabilityLost))
+
 	// Run resolution provenance.
 	c := s.runner.Counters()
 	p.Family("lightwsp_runs_total", "counter", "Simulation runs resolved, by source.")
