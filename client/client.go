@@ -1,0 +1,373 @@
+// Package client is the Go client for the lightwsp-serve HTTP API: typed
+// run, stream, session and crash-fuzzing calls over one *Client, with
+// per-call functional options (WithDeadline, WithTrace, WithRetry) and
+// errors that map back onto the harness's sentinel taxonomy — a 504 from
+// the server satisfies errors.Is(err, wsperr.ErrCanceled) exactly as a
+// local deadline would, and saturation/outage statuses match the package's
+// own ErrBusy/ErrUnavailable sentinels.
+//
+// The client is fleet-transparent: point it at a single node or at a
+// lightwsp-lb front and every call behaves identically (responses carry
+// X-LightWSP-Served-By when a fleet answered). Responses preserve raw
+// payload bytes where identity matters — RunResult.Stats is the server's
+// exact stats document, and every StreamEvent carries its exact NDJSON
+// line — so callers can verify the API contract's byte-identical replay
+// guarantees without re-marshaling.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"lightwsp/internal/obs"
+	"lightwsp/internal/wsperr"
+)
+
+// Sentinel errors a call may wrap; classify with errors.Is. Deadline
+// failures (HTTP 504) map onto wsperr.ErrCanceled rather than a local
+// sentinel so server-side and client-side cancellation classify alike.
+var (
+	// ErrBusy is a 429: the server's admission gate is full. The APIError
+	// carries the server's Retry-After hint.
+	ErrBusy = errors.New("server saturated")
+	// ErrUnavailable is a 503: draining, degraded durability, or sessions
+	// disabled on the serving node.
+	ErrUnavailable = errors.New("server unavailable")
+	// ErrNotFound is a 404: unknown workload or session.
+	ErrNotFound = errors.New("not found")
+	// ErrConflict is a 409: the session is busy or already exists.
+	ErrConflict = errors.New("conflict")
+	// ErrSessionClosed is a 410: the session was removed.
+	ErrSessionClosed = errors.New("session closed")
+)
+
+// APIError is any non-2xx answer: the status, the server's error message,
+// and its Retry-After hint when one was sent. It satisfies errors.Is for
+// the package sentinels above and for wsperr.ErrCanceled (504).
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+	// Trace is the request's X-LightWSP-Trace identity, for correlating
+	// with server logs and /v1/debug/run/{id}.
+	Trace string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server answered %d: %s", e.Status, e.Message)
+}
+
+// Is maps HTTP statuses onto the sentinel taxonomy.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrBusy:
+		return e.Status == http.StatusTooManyRequests
+	case ErrUnavailable:
+		return e.Status == http.StatusServiceUnavailable
+	case ErrNotFound:
+		return e.Status == http.StatusNotFound
+	case ErrConflict:
+		return e.Status == http.StatusConflict
+	case ErrSessionClosed:
+		return e.Status == http.StatusGone
+	case wsperr.ErrCanceled:
+		return e.Status == http.StatusGatewayTimeout
+	}
+	return false
+}
+
+// StreamError is the terminal error line of an NDJSON stream: the HTTP
+// status was long gone when the run failed, so the error arrives in-band.
+type StreamError struct {
+	Message string
+	Trace   string
+}
+
+func (e *StreamError) Error() string { return "stream failed: " + e.Message }
+
+// Client talks to one lightwsp-serve node or one lightwsp-lb front. It is
+// safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient replaces the transport (test servers, custom TLS, proxy
+// configs). The default client has no timeout — streams run for minutes —
+// so bound calls with WithDeadline or a context instead.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// New builds a client for the server at baseURL (e.g. "http://host:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// callOpts is the resolved per-call configuration.
+type callOpts struct {
+	deadline time.Duration
+	trace    string
+	retries  int
+}
+
+// CallOption tunes one call.
+type CallOption func(*callOpts)
+
+// WithDeadline bounds the call: the context gets the deadline and, where
+// the endpoint supports it, the request carries timeout_ms so the server
+// cancels the simulation at the same boundary (answering 504, which
+// classifies as wsperr.ErrCanceled).
+func WithDeadline(d time.Duration) CallOption { return func(o *callOpts) { o.deadline = d } }
+
+// WithTrace pins the request's X-LightWSP-Trace identity so the caller can
+// pre-correlate with server logs, manifests and flight-recorder dumps.
+func WithTrace(id string) CallOption { return func(o *callOpts) { o.trace = id } }
+
+// WithRetry retries saturation and outage answers (429, 503) up to n times,
+// honoring the server's Retry-After hint (bounded below by 50ms and above
+// by 5s per wait). Other failures never retry.
+func WithRetry(n int) CallOption { return func(o *callOpts) { o.retries = n } }
+
+func resolve(opts []CallOption) callOpts {
+	var o callOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// callCtx applies the per-call deadline.
+func callCtx(ctx context.Context, o callOpts) (context.Context, context.CancelFunc) {
+	if o.deadline > 0 {
+		return context.WithTimeout(ctx, o.deadline)
+	}
+	return context.WithCancel(ctx)
+}
+
+// timeoutMS is the wire value WithDeadline puts in request bodies.
+func (o callOpts) timeoutMS() int64 { return o.deadline.Milliseconds() }
+
+// retryWait picks the wait before a retry from the server's hint.
+func retryWait(e *APIError) time.Duration {
+	w := e.RetryAfter
+	if w < 50*time.Millisecond {
+		w = 50 * time.Millisecond
+	}
+	if w > 5*time.Second {
+		w = 5 * time.Second
+	}
+	return w
+}
+
+// retryable reports whether err is a 429/503 worth re-asking.
+func retryable(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) &&
+		(ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable)
+}
+
+// do runs one request/attempt loop: fn performs a single attempt; retries
+// cover 429/503 per the call options.
+func do(ctx context.Context, o callOpts, fn func() error) error {
+	err := fn()
+	for i := 0; i < o.retries && retryable(err); i++ {
+		var ae *APIError
+		errors.As(err, &ae)
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(retryWait(ae)):
+		}
+		err = fn()
+	}
+	return err
+}
+
+// newRequest builds one attempt's request with the call's headers.
+func (c *Client) newRequest(ctx context.Context, method, path string, body []byte, o callOpts) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if o.trace != "" {
+		req.Header.Set(obs.TraceHeader, o.trace)
+	}
+	return req, nil
+}
+
+// apiError turns a non-2xx response into the typed error.
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	json.Unmarshal(data, &body)
+	if body.Error == "" {
+		body.Error = strings.TrimSpace(string(data))
+	}
+	e := &APIError{
+		Status:  resp.StatusCode,
+		Message: body.Error,
+		Trace:   resp.Header.Get(obs.TraceHeader),
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if s, err := strconv.Atoi(ra); err == nil && s >= 0 {
+			e.RetryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return e
+}
+
+// doJSON performs one JSON request/response call with retries.
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any, opts []CallOption) error {
+	o := resolve(opts)
+	ctx, cancel := callCtx(ctx, o)
+	defer cancel()
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	return do(ctx, o, func() error {
+		req, err := c.newRequest(ctx, method, path, body, o)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return apiError(resp)
+		}
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	})
+}
+
+// StreamEvent is one NDJSON line of a run or session stream. The typed
+// fields cover what callers branch on; Raw is the exact line as the server
+// sent it (no trailing newline) — the unit of the byte-identical replay
+// guarantee.
+type StreamEvent struct {
+	Type    string `json:"type"`
+	Kind    string `json:"kind,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
+	Segment int    `json:"segment,omitempty"`
+	Cycle   uint64 `json:"cycle,omitempty"`
+	Total   uint64 `json:"total,omitempty"`
+	Done    bool   `json:"done,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Trace   string `json:"trace,omitempty"`
+	Raw     []byte `json:"-"`
+}
+
+// maxStreamLine bounds one NDJSON line (terminal stats lines carry a full
+// metrics snapshot; 8 MiB is far above any of them).
+const maxStreamLine = 8 << 20
+
+// doStream performs one streaming call: POST path, then fn per NDJSON line.
+// A terminal in-band error line becomes a *StreamError after fn has seen
+// every preceding event. Streams never retry — a half-consumed stream is
+// not idempotent at this layer; re-issue or resume instead.
+func (c *Client) doStream(ctx context.Context, path string, in any, fn func(StreamEvent) error, opts []CallOption) error {
+	o := resolve(opts)
+	ctx, cancel := callCtx(ctx, o)
+	defer cancel()
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, path, body, o)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxStreamLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("undecodable stream line %q: %w", line, err)
+		}
+		ev.Raw = append([]byte(nil), line...)
+		if ev.Type == "error" {
+			return &StreamError{Message: ev.Error, Trace: ev.Trace}
+		}
+		if fn != nil {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// Health probes /healthz: nil while the server (or fleet front) is
+// serving, an *APIError matching ErrUnavailable while it drains or has
+// lost durability.
+func (c *Client) Health(ctx context.Context, opts ...CallOption) error {
+	return c.doJSON(ctx, http.MethodGet, "/healthz", nil, nil, opts)
+}
+
+// Stats is the /stats snapshot, typed where clients branch and raw for the
+// rest.
+type Stats struct {
+	FreshRuns        int   `json:"fresh_runs"`
+	DiskCacheHits    int   `json:"disk_cache_hits"`
+	MemCacheHits     int   `json:"mem_cache_hits"`
+	LeaseJoins       int   `json:"lease_joins"`
+	InFlight         int   `json:"in_flight"`
+	Queued           int   `json:"queued"`
+	Draining         bool  `json:"draining"`
+	SessionsOpen     int   `json:"sessions_open"`
+	SessionsRestored int64 `json:"sessions_restored"`
+}
+
+// Stats fetches the server's cache counters and admission accounting.
+func (c *Client) Stats(ctx context.Context, opts ...CallOption) (*Stats, error) {
+	var out Stats
+	if err := c.doJSON(ctx, http.MethodGet, "/stats", nil, &out, opts); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,115 @@
+package client
+
+import (
+	"context"
+	"net/http"
+)
+
+// SessionSpec identifies a durable session's workload, mirroring the
+// server's wire shape.
+type SessionSpec struct {
+	Suite string `json:"suite"`
+	App   string `json:"app"`
+	// Scheme must be an instrumented persistence scheme; empty means
+	// lightwsp.
+	Scheme string `json:"scheme,omitempty"`
+	// SnapshotEvery is the automatic snapshot cadence in session-total
+	// cycles; 0 inherits the server default.
+	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
+}
+
+// SessionStatus is one session's durable position as the server reports it.
+type SessionStatus struct {
+	ID      string      `json:"id"`
+	Spec    SessionSpec `json:"spec"`
+	Seq     uint64      `json:"seq"`
+	Segment int         `json:"segment"`
+	Total   uint64      `json:"total"`
+	Outputs uint64      `json:"outputs"`
+	Done    bool        `json:"done"`
+	// Records is the journaled advance count; Snapshots the durable
+	// snapshot count.
+	Records           int    `json:"records"`
+	Snapshots         int    `json:"snapshots"`
+	LastSnapshotTotal uint64 `json:"last_snapshot_total,omitempty"`
+	// Busy reports an advance in flight right now.
+	Busy bool `json:"busy"`
+}
+
+// sessionCreateRequest mirrors server.SessionCreateRequest on the wire.
+type sessionCreateRequest struct {
+	ID            string `json:"id,omitempty"`
+	Suite         string `json:"suite"`
+	App           string `json:"app"`
+	Scheme        string `json:"scheme,omitempty"`
+	SnapshotEvery uint64 `json:"snapshot_every,omitempty"`
+}
+
+// CreateSession creates one durable session (POST /v1/session). id may be
+// empty; the returned status carries the server-minted one. On a fleet the
+// session lands on (or forwards to) its ring owner.
+func (c *Client) CreateSession(ctx context.Context, id string, spec SessionSpec, opts ...CallOption) (*SessionStatus, error) {
+	req := sessionCreateRequest{
+		ID: id, Suite: spec.Suite, App: spec.App,
+		Scheme: spec.Scheme, SnapshotEvery: spec.SnapshotEvery,
+	}
+	var out SessionStatus
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/session", req, &out, opts); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sessions lists every open session (GET /v1/session) on the answering node.
+func (c *Client) Sessions(ctx context.Context, opts ...CallOption) ([]SessionStatus, error) {
+	var out struct {
+		Sessions []SessionStatus `json:"sessions"`
+	}
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/session", nil, &out, opts); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
+}
+
+// Session fetches one session's status (GET /v1/session/{id}). A missing
+// session matches ErrNotFound.
+func (c *Client) Session(ctx context.Context, id string, opts ...CallOption) (*SessionStatus, error) {
+	var out SessionStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/session/"+pathEscape(id), nil, &out, opts); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSession removes a session and its snapshots (DELETE
+// /v1/session/{id}). Subsequent resumes match ErrSessionClosed.
+func (c *Client) DeleteSession(ctx context.Context, id string, opts ...CallOption) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/session/"+pathEscape(id), nil, nil, opts)
+}
+
+// Advance runs a session forward to target session-total cycles (POST
+// /v1/session/{id}/advance), streaming its journaled events to fn. A
+// target at or below the current position streams nothing and succeeds,
+// so re-issuing after a lost connection is safe. A busy session matches
+// ErrConflict.
+func (c *Client) Advance(ctx context.Context, id string, target uint64, fn func(StreamEvent) error, opts ...CallOption) error {
+	o := resolve(opts)
+	req := struct {
+		Target    uint64 `json:"target"`
+		TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	}{Target: target, TimeoutMS: o.timeoutMS()}
+	return c.doStream(ctx, "/v1/session/"+pathEscape(id)+"/advance", req, fn, opts)
+}
+
+// Resume replays a session's event stream after lastSeq (POST
+// /v1/session/{id}/resume): fn first sees one unnumbered header line
+// (Type "resume"), then exactly the events after lastSeq, byte-identical
+// to an uninterrupted stream.
+func (c *Client) Resume(ctx context.Context, id string, lastSeq uint64, fn func(StreamEvent) error, opts ...CallOption) error {
+	o := resolve(opts)
+	req := struct {
+		LastSeq   uint64 `json:"last_seq"`
+		TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	}{LastSeq: lastSeq, TimeoutMS: o.timeoutMS()}
+	return c.doStream(ctx, "/v1/session/"+pathEscape(id)+"/resume", req, fn, opts)
+}

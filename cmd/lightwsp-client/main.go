@@ -1,0 +1,215 @@
+// Command lightwsp-client is the CLI face of the lightwsp/client package:
+// one binary that exercises every serving endpoint, built for smoke tests
+// and operators poking at a node or a fleet front.
+//
+//	lightwsp-client -server http://127.0.0.1:8080 run -suite cpu2006 -app fuzz-st
+//	lightwsp-client stream -suite cpu2006 -app fuzz-st          # raw NDJSON
+//	lightwsp-client session-create -id alpha -suite cpu2006 -app fuzz-st
+//	lightwsp-client advance -id alpha -target 10000             # raw NDJSON
+//	lightwsp-client resume -id alpha -last-seq 0                # raw NDJSON
+//
+// -server defaults to $LIGHTWSP_SERVER. Streaming verbs pass the server's
+// NDJSON lines through verbatim, so byte-identity checks (resume replay,
+// cross-node rehash) are a plain diff of two invocations' outputs. Typed
+// verbs print the response JSON. Exit status: 0 on success, 1 on any API
+// or transport error (the error, with its HTTP status, goes to stderr).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lightwsp/client"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+// usage lists the verbs; per-verb flags print via -h on the verb.
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: lightwsp-client [-server URL] [-trace ID] [-timeout D] [-retries N] <verb> [verb flags]
+
+verbs:
+  health                         probe /healthz
+  stats                          print the /stats snapshot
+  run                            one cached run (-suite -app [-scheme])
+  stream                         one fresh run, raw NDJSON to stdout
+  run-with-failure               power-cut round trip (-suite -app -fail-cycle)
+  crashfuzz                      fuzz campaign (-suite -app [-cuts -seed])
+  session-create                 create a session (-id -suite -app [-scheme -snapshot-every])
+  session-get                    one session's status (-id)
+  session-list                   every open session
+  session-delete                 remove a session (-id)
+  advance                        advance a session, raw NDJSON (-id -target)
+  resume                         replay a session stream, raw NDJSON (-id [-last-seq])
+`)
+}
+
+func run(args []string) int {
+	global := flag.NewFlagSet("lightwsp-client", flag.ExitOnError)
+	global.Usage = usage
+	var (
+		server = global.String("server", os.Getenv("LIGHTWSP_SERVER"),
+			"server or lb base URL (defaults to $LIGHTWSP_SERVER)")
+		trace   = global.String("trace", "", "pin the request's X-LightWSP-Trace identity")
+		timeout = global.Duration("timeout", 0, "per-call deadline (propagated to the server)")
+		retries = global.Int("retries", 0, "retry saturated/unavailable answers this many times")
+	)
+	global.Parse(args)
+	if global.NArg() == 0 {
+		usage()
+		return 2
+	}
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "lightwsp-client: -server (or $LIGHTWSP_SERVER) is required")
+		return 2
+	}
+	var opts []client.CallOption
+	if *trace != "" {
+		opts = append(opts, client.WithTrace(*trace))
+	}
+	if *timeout > 0 {
+		opts = append(opts, client.WithDeadline(*timeout))
+	}
+	if *retries > 0 {
+		opts = append(opts, client.WithRetry(*retries))
+	}
+
+	c := client.New(*server)
+	verb, rest := global.Arg(0), global.Args()[1:]
+	if err := dispatch(context.Background(), c, verb, rest, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "lightwsp-client: %s: %v\n", verb, err)
+		return 1
+	}
+	return 0
+}
+
+// passthrough streams raw NDJSON lines to stdout unmodified.
+func passthrough(ev client.StreamEvent) error {
+	_, err := fmt.Printf("%s\n", ev.Raw)
+	return err
+}
+
+// printJSON renders a typed response for the terminal.
+func printJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func dispatch(ctx context.Context, c *client.Client, verb string, args []string, opts []client.CallOption) error {
+	fs := flag.NewFlagSet(verb, flag.ExitOnError)
+	var (
+		suite  = fs.String("suite", "", "workload suite")
+		app    = fs.String("app", "", "workload app")
+		scheme = fs.String("scheme", "", "persistence scheme (empty: lightwsp)")
+		id     = fs.String("id", "", "session ID")
+	)
+	switch verb {
+	case "health":
+		fs.Parse(args)
+		if err := c.Health(ctx, opts...); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
+
+	case "stats":
+		fs.Parse(args)
+		st, err := c.Stats(ctx, opts...)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+
+	case "run":
+		fs.Parse(args)
+		res, err := c.Run(ctx, *suite, *app, *scheme, opts...)
+		if err != nil {
+			return err
+		}
+		return printJSON(res)
+
+	case "stream":
+		fs.Parse(args)
+		return c.RunStream(ctx, *suite, *app, *scheme, passthrough, opts...)
+
+	case "run-with-failure":
+		failCycle := fs.Uint64("fail-cycle", 0, "power-cut cycle")
+		fs.Parse(args)
+		res, err := c.RunWithFailure(ctx, *suite, *app, *failCycle, opts...)
+		if err != nil {
+			return err
+		}
+		return printJSON(res)
+
+	case "crashfuzz":
+		cuts := fs.Int("cuts", 0, "power cuts per schedule (0: server default)")
+		seed := fs.Int64("seed", 0, "sampled-mode seed (0: server default)")
+		fs.Parse(args)
+		res, err := c.Crashfuzz(ctx, client.CrashfuzzSpec{
+			Suite: *suite, App: *app, Cuts: *cuts, Seed: *seed,
+		}, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", res.Raw)
+		return nil
+
+	case "session-create":
+		every := fs.Uint64("snapshot-every", 0, "snapshot cadence in cycles (0: server default)")
+		fs.Parse(args)
+		st, err := c.CreateSession(ctx, *id, client.SessionSpec{
+			Suite: *suite, App: *app, Scheme: *scheme, SnapshotEvery: *every,
+		}, opts...)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+
+	case "session-get":
+		fs.Parse(args)
+		st, err := c.Session(ctx, *id, opts...)
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+
+	case "session-list":
+		fs.Parse(args)
+		list, err := c.Sessions(ctx, opts...)
+		if err != nil {
+			return err
+		}
+		return printJSON(list)
+
+	case "session-delete":
+		fs.Parse(args)
+		if err := c.DeleteSession(ctx, *id, opts...); err != nil {
+			return err
+		}
+		fmt.Println("removed", *id)
+		return nil
+
+	case "advance":
+		target := fs.Uint64("target", 0, "session-total cycle to run until")
+		fs.Parse(args)
+		return c.Advance(ctx, *id, *target, passthrough, opts...)
+
+	case "resume":
+		lastSeq := fs.Uint64("last-seq", 0, "highest event seq already seen")
+		fs.Parse(args)
+		return c.Resume(ctx, *id, *lastSeq, passthrough, opts...)
+
+	default:
+		usage()
+		return fmt.Errorf("unknown verb %q", verb)
+	}
+}

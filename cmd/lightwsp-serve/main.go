@@ -26,6 +26,12 @@
 // -log-format), a Prometheus exposition at /metrics, per-request trace IDs
 // (X-LightWSP-Trace) threaded into manifests and timeline exports, and an
 // optional loopback-only -debug-addr serving net/http/pprof plus /metrics.
+//
+// Fleets: several nodes become one cache-coherent service with
+// -fleet-self/-fleet-peers (a shared rendezvous ring over run keys and
+// session IDs; wrong-node requests forward one hop to their owner) and -l2
+// (a shared store — directory or peer URL — every node's cache reads
+// through and publishes to). Front the fleet with lightwsp-lb.
 package main
 
 import (
@@ -51,6 +57,8 @@ func main() {
 	common.Register(flag.CommandLine)
 	var sessions cli.Sessions
 	sessions.Register(flag.CommandLine)
+	var fleetFlags cli.Fleet
+	fleetFlags.Register(flag.CommandLine)
 	var (
 		addr  = flag.String("addr", ":8080", "listen address")
 		queue = flag.Int("queue", 0,
@@ -90,6 +98,9 @@ func main() {
 		SessionDir:       sessions.Dir,
 		SnapshotEvery:    sessions.SnapshotEvery,
 		SnapshotInterval: sessions.SnapshotInterval,
+		FleetSelf:        fleetFlags.Self,
+		FleetPeers:       fleetFlags.PeerList(),
+		L2:               fleetFlags.Store(),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

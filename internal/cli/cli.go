@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
 	"lightwsp/internal/experiments"
@@ -57,6 +58,14 @@ const (
 	// DiskFaultSeedEnv supplies the default host-storage campaign seed
 	// (-seed).
 	DiskFaultSeedEnv = "LIGHTWSP_DISK_FAULT_SEED"
+	// FleetSelfEnv supplies this node's own base URL (-fleet-self).
+	FleetSelfEnv = "LIGHTWSP_FLEET_SELF"
+	// FleetPeersEnv supplies the comma-separated fleet membership
+	// (-fleet-peers).
+	FleetPeersEnv = "LIGHTWSP_FLEET_PEERS"
+	// L2Env supplies the shared second storage tier (-l2): a directory
+	// path or a peer node's http(s) base URL.
+	L2Env = "LIGHTWSP_L2"
 )
 
 // Common is the resolved shared configuration. Zero value + Register +
@@ -145,9 +154,11 @@ func (c *Common) NewRunner() *experiments.Runner {
 	return r
 }
 
-// BlobCache returns the shared blob cache rooted at CacheDir, or nil when
-// caching is disabled.
-func (c *Common) BlobCache() *experiments.BlobCache {
+// BlobCache returns the shared blob store rooted at CacheDir, or nil when
+// caching is disabled. The return type is the Store interface (with an
+// untyped nil) so callers' `!= nil` guards keep working when they hold the
+// result in an interface-typed config field.
+func (c *Common) BlobCache() experiments.Store {
 	if c.CacheDir == "" {
 		return nil
 	}
@@ -183,6 +194,62 @@ func (s *Sessions) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&s.SnapshotInterval, "snapshot-interval", envDuration(SnapshotIntervalEnv, 0),
 		"force a durable snapshot of idle sessions this often, e.g. 30s "+
 			"(0 disables; defaults to $"+SnapshotIntervalEnv+")")
+}
+
+// Fleet is the fleet flag group (lightwsp-serve only): this node's identity
+// on the rendezvous ring, the full membership, and the shared L2 store
+// behind the local cache. Zero value + Register + fs.Parse resolves it; an
+// empty Self leaves the node solo.
+type Fleet struct {
+	// Self is this node's base URL exactly as peers and the lb reach it,
+	// e.g. "http://10.0.0.3:8080" (default: $LIGHTWSP_FLEET_SELF).
+	Self string
+	// Peers is the comma-separated fleet membership, Self included
+	// (default: $LIGHTWSP_FLEET_PEERS).
+	Peers string
+	// L2 names the shared second storage tier: a directory path (shared
+	// filesystem) or a peer node's http(s) base URL (its /v1/blob peer
+	// API). Empty leaves the node on its local cache alone
+	// (default: $LIGHTWSP_L2).
+	L2 string
+}
+
+// Register installs the fleet flags on fs with their environment-derived
+// defaults.
+func (f *Fleet) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Self, "fleet-self", os.Getenv(FleetSelfEnv),
+		"this node's base URL as peers reach it, e.g. http://10.0.0.3:8080 "+
+			"(empty: serve solo; defaults to $"+FleetSelfEnv+")")
+	fs.StringVar(&f.Peers, "fleet-peers", os.Getenv(FleetPeersEnv),
+		"comma-separated fleet membership including -fleet-self "+
+			"(defaults to $"+FleetPeersEnv+")")
+	fs.StringVar(&f.L2, "l2", os.Getenv(L2Env),
+		"shared L2 store: a directory on a shared filesystem, or a peer's "+
+			"http(s) base URL (defaults to $"+L2Env+")")
+}
+
+// PeerList parses the membership, dropping empty entries.
+func (f *Fleet) PeerList() []string {
+	var out []string
+	for _, p := range strings.Split(f.Peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Store resolves the -l2 spec: an http(s) URL speaks a peer node's blob
+// API, anything else is a shared directory; empty means no L2.
+func (f *Fleet) Store() experiments.Store {
+	switch {
+	case f.L2 == "":
+		return nil
+	case strings.HasPrefix(f.L2, "http://"), strings.HasPrefix(f.L2, "https://"):
+		return experiments.NewRemoteStore(f.L2)
+	default:
+		return experiments.NewBlobCache(f.L2)
+	}
 }
 
 // DiskFaults is the host-storage fault-plan flag group (lightwsp-admin's

@@ -104,7 +104,7 @@ type Config struct {
 	Pool    *experiments.Pool
 	// Cache, when non-nil, memoizes passing verdicts so repeated campaigns
 	// skip proven injections. Ignored while CorruptPM is set.
-	Cache *experiments.BlobCache
+	Cache experiments.Store
 	// OutDir, when non-empty, receives one JSON repro file per divergence
 	// plus a manifest.json campaign summary.
 	OutDir string

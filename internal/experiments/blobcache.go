@@ -165,14 +165,21 @@ func (c *BlobCache) WriteJSON(hash string, v any) {
 }
 
 func (c *BlobCache) write(hash string, v any) error {
-	if err := c.fs.MkdirAll(c.dir, 0o755); err != nil {
-		return err
-	}
 	data, err := json.MarshalIndent(v, "", "\t")
 	if err != nil {
 		return err
 	}
-	sealed := hostfs.Seal(data)
+	return c.writeSealed(hash, hostfs.Seal(data))
+}
+
+// writeSealed is the shared atomic-durable publish path: temp file in the
+// same directory, fsync, rename, directory fsync. Callers hand it already
+// sealed bytes (write seals a marshaled document, WriteRaw verifies a
+// peer's).
+func (c *BlobCache) writeSealed(hash string, sealed []byte) error {
+	if err := c.fs.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
 	tmp, err := c.fs.CreateTemp(c.dir, hash+".tmp*")
 	if err != nil {
 		return err

@@ -94,7 +94,7 @@ type codecEnvelope struct {
 // embedded key disagree — or whose payload does not decode — is stale (the
 // format changed under it, or a hash collided) and is evicted before the
 // miss is reported.
-func (c Codec) Load(b *BlobCache, hash, key string, out any) bool {
+func (c Codec) Load(b Store, hash, key string, out any) bool {
 	var env codecEnvelope
 	if !b.ReadJSON(hash, &env) {
 		b.Remove(hash) // corrupt or absent; removing an absent file is a no-op
@@ -110,7 +110,7 @@ func (c Codec) Load(b *BlobCache, hash, key string, out any) bool {
 
 // Store wraps payload in the codec's envelope and persists it under hash.
 // Best-effort, like all blob-cache writes.
-func (c Codec) Store(b *BlobCache, hash, key string, payload any) {
+func (c Codec) Store(b Store, hash, key string, payload any) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return

@@ -23,7 +23,7 @@ import (
 // — never as a wrong result. The cache is best-effort: any I/O or decode
 // failure simply degrades to a fresh simulation.
 type diskCache struct {
-	blobs *BlobCache
+	blobs Store
 }
 
 // diskPayload is the RunCodec envelope payload of one cached run.
@@ -36,6 +36,19 @@ type diskPayload struct {
 
 func newDiskCache(dir string) *diskCache {
 	return &diskCache{blobs: NewBlobCache(dir)}
+}
+
+// newDiskCacheStore wraps an arbitrary Store — a TieredStore sharing an L2
+// with the rest of a fleet, a RemoteStore, anything satisfying the seam.
+func newDiskCacheStore(st Store) *diskCache {
+	return &diskCache{blobs: st}
+}
+
+// leaser exposes the store's lease arbiter when it has one — the
+// cross-node singleflight hook.
+func (d *diskCache) leaser() (Leaser, bool) {
+	l, ok := d.blobs.(Leaser)
+	return l, ok && l != nil
 }
 
 // load returns the cached stats and manifest for the given canonical key,
@@ -227,4 +240,9 @@ func Scrub(dir string) (int, error) {
 }
 
 // String renders the cache location for progress output.
-func (d *diskCache) String() string { return fmt.Sprintf("diskcache(%s)", d.blobs.Dir()) }
+func (d *diskCache) String() string {
+	if loc, ok := d.blobs.(interface{ Dir() string }); ok {
+		return fmt.Sprintf("diskcache(%s)", loc.Dir())
+	}
+	return "diskcache(store)"
+}

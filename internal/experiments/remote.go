@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"lightwsp/internal/hostfs"
+)
+
+// RemoteStore is a Store (and Leaser) backed by another lightwsp-serve
+// node's /v1/blob and /v1/lease peer API — the L2 tier for fleets without a
+// shared filesystem. Transfers are the sealed on-disk bytes, and every
+// fetch re-verifies the CRC-32C seal locally before decoding: the wire, the
+// peer's disk and the peer's software are all inside the integrity
+// perimeter. Like every Store, it is best-effort — network failure is a
+// cache miss, never an error surfaced to a simulation.
+type RemoteStore struct {
+	base string
+	hc   *http.Client
+
+	log      *slog.Logger
+	counters *StorageCounters
+}
+
+// NewRemoteStore returns a store speaking to the peer at baseURL (e.g.
+// "http://10.0.0.2:8080"). The client bounds every call so a hung peer
+// degrades to a miss instead of stalling a simulation.
+func NewRemoteStore(baseURL string) *RemoteStore {
+	return &RemoteStore{
+		base:     strings.TrimRight(baseURL, "/"),
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		counters: DefaultStorageCounters,
+	}
+}
+
+// SetObserver routes the store's failure logging and counters; nil log
+// discards, nil counters keeps the process-wide default.
+func (r *RemoteStore) SetObserver(log *slog.Logger, counters *StorageCounters) {
+	r.log = log
+	if counters != nil {
+		r.counters = counters
+	}
+}
+
+func (r *RemoteStore) warn(msg, hash string, err error) {
+	if r.log != nil {
+		r.log.Warn(msg, "blob", hash, "peer", r.base, "error", err)
+	}
+}
+
+func (r *RemoteStore) blobURL(hash string) string {
+	return r.base + "/v1/blob/" + url.PathEscape(hash)
+}
+
+// ReadJSON fetches the sealed entry from the peer, verifies the seal
+// locally, and decodes the payload into out.
+func (r *RemoteStore) ReadJSON(hash string, out any) bool {
+	resp, err := r.hc.Get(r.blobURL(hash))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	sealed, err := io.ReadAll(io.LimitReader(resp.Body, maxBlobBytes))
+	if err != nil {
+		return false
+	}
+	payload, err := hostfs.UnsealPayload(sealed, true)
+	if err != nil {
+		// The peer served bytes whose checksum does not hold here: wire
+		// damage or a peer-side lie. Either way it must not be trusted.
+		r.counters.ChecksumFailures.Add(1)
+		r.warn("remote blob failed seal verification", hash, err)
+		return false
+	}
+	return json.Unmarshal(payload, out) == nil
+}
+
+// maxBlobBytes bounds a single blob transfer (sealed session snapshots of
+// large PM images are the biggest artifact; 256 MiB is far above any of
+// them while still bounding a misbehaving peer).
+const maxBlobBytes = 256 << 20
+
+// WriteJSON seals v and pushes it to the peer, best-effort.
+func (r *RemoteStore) WriteJSON(hash string, v any) {
+	data, err := json.MarshalIndent(v, "", "\t")
+	if err != nil {
+		return
+	}
+	sealed := hostfs.Seal(data)
+	req, err := http.NewRequest(http.MethodPut, r.blobURL(hash), bytes.NewReader(sealed))
+	if err != nil {
+		return
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.counters.WriteErrors.Add(1)
+		r.warn("remote blob write failed", hash, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		r.counters.WriteErrors.Add(1)
+		r.warn("remote blob write rejected", hash, fmt.Errorf("status %d", resp.StatusCode))
+	}
+}
+
+// Remove deletes the entry on the peer, best-effort.
+func (r *RemoteStore) Remove(hash string) {
+	req, err := http.NewRequest(http.MethodDelete, r.blobURL(hash), nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		r.counters.RemoveErrors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// leaseURL names the peer's lease arbiter endpoint.
+func (r *RemoteStore) leaseURL(name string) string {
+	return r.base + "/v1/lease/" + url.PathEscape(name)
+}
+
+// leaseRequest is the wire form of a Claim/Renew call.
+type leaseRequest struct {
+	Owner string `json:"owner"`
+	TTLMS int64  `json:"ttl_ms"`
+	Renew bool   `json:"renew,omitempty"`
+}
+
+func (r *RemoteStore) leaseCall(name string, body leaseRequest) bool {
+	data, _ := json.Marshal(body)
+	resp, err := r.hc.Post(r.leaseURL(name), "application/json", bytes.NewReader(data))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Claim implements Leaser against the peer's arbiter; 409 means another
+// owner holds the lease. A network failure reads as "not claimed", which
+// fails open: the caller simulates redundantly instead of deadlocking on an
+// unreachable arbiter.
+func (r *RemoteStore) Claim(name, owner string, ttl time.Duration) bool {
+	return r.leaseCall(name, leaseRequest{Owner: owner, TTLMS: ttl.Milliseconds()})
+}
+
+// Renew implements Leaser against the peer's arbiter.
+func (r *RemoteStore) Renew(name, owner string, ttl time.Duration) bool {
+	return r.leaseCall(name, leaseRequest{Owner: owner, TTLMS: ttl.Milliseconds(), Renew: true})
+}
+
+// Release implements Leaser against the peer's arbiter.
+func (r *RemoteStore) Release(name, owner string) {
+	req, err := http.NewRequest(http.MethodDelete, r.leaseURL(name)+"?owner="+url.QueryEscape(owner), nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -27,6 +27,8 @@ package experiments
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"log/slog"
 	"os"
@@ -74,6 +76,11 @@ type Counters struct {
 	// MemHits is the number of Run calls served from the in-memory memo
 	// table or joined onto an already-in-flight simulation.
 	MemHits int
+	// LeaseJoins is the number of distinct runs resolved by waiting on
+	// another node's lease-held simulation and loading its published result
+	// — the cross-node singleflight path. Each is also counted in DiskHits
+	// (the result arrives through the store).
+	LeaseJoins int
 }
 
 // Runner executes and memoizes simulation runs. Results are keyed by the
@@ -192,15 +199,34 @@ func (r *Runner) SetCacheDir(dir string) {
 	r.s.disk = newDiskCache(dir)
 }
 
+// SetStore points the Runner's persistent result cache at an arbitrary
+// Store — typically a TieredStore whose L2 is shared with the rest of a
+// fleet. When the store also implements Leaser, fresh simulations go
+// through the fleet-wide lease gate (cross-node singleflight): the first
+// node to claim a run key simulates, every other node waits and loads the
+// leader's published result. A nil store disables the cache. Call before
+// Run; overrides SetCacheDir.
+func (r *Runner) SetStore(st Store) {
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	if st == nil {
+		r.s.disk = nil
+		return
+	}
+	r.s.disk = newDiskCacheStore(st)
+}
+
 // SetStorageObserver routes the disk cache's integrity/failure logging and
 // counters (quarantines, checksum failures, write errors). Call after
-// SetCacheDir — enabling or moving the cache resets the observer — and
-// before Run.
+// SetCacheDir/SetStore — enabling or moving the cache resets the observer —
+// and before Run.
 func (r *Runner) SetStorageObserver(log *slog.Logger, counters *StorageCounters) {
 	r.s.mu.Lock()
 	defer r.s.mu.Unlock()
 	if r.s.disk != nil {
-		r.s.disk.blobs.SetObserver(log, counters)
+		if o, ok := r.s.disk.blobs.(observable); ok {
+			o.SetObserver(log, counters)
+		}
 	}
 }
 
@@ -453,7 +479,8 @@ func (s *runnerState) runInflight(ctx context.Context, pool *Pool, fl *inflightR
 }
 
 // execute resolves one distinct run: disk-cache load if enabled, else a
-// full simulation (persisted to the disk cache afterwards). Either way it
+// full simulation (persisted to the disk cache afterwards) behind the
+// fleet-wide lease gate when the store arbitrates leases. Either way it
 // records a RunManifest carrying the run's provenance and metrics.
 func (s *runnerState) execute(ctx context.Context, key string, p workload.Profile, sch machine.Scheme, cfg machine.Config, ccfg compiler.Config) (*machine.Stats, bool, error) {
 	hash := keyHash(key)
@@ -466,6 +493,27 @@ func (s *runnerState) execute(ctx context.Context, key string, p workload.Profil
 			s.noteManifest(key, man)
 			s.progressLine(p, sch, hash, "cached", time.Since(start), st)
 			return st, true, nil
+		}
+		// Cross-node singleflight: when the store can arbitrate leases,
+		// exactly one node in the fleet simulates this key; everyone else
+		// waits for the leader's published result.
+		if ls, ok := s.disk.leaser(); ok {
+			st, man, joined, release, err := s.leaseGate(ctx, ls, key, hash)
+			if err != nil {
+				return nil, false, err
+			}
+			if joined {
+				man.Source = "fleet"
+				man.WallSeconds = time.Since(start).Seconds()
+				man.TraceID = obs.TraceID(ctx)
+				s.noteManifest(key, man)
+				s.progressLine(p, sch, hash, "fleet", time.Since(start), st)
+				s.mu.Lock()
+				s.counters.LeaseJoins++
+				s.mu.Unlock()
+				return st, true, nil
+			}
+			defer release()
 		}
 	}
 	st, snap, err := simulate(ctx, p, sch, cfg, ccfg, s.timelinePath(hash))
@@ -491,6 +539,83 @@ func (s *runnerState) execute(ctx context.Context, key string, p workload.Profil
 	s.noteManifest(key, man)
 	s.progressLine(p, sch, hash, "fresh", time.Since(start), st)
 	return st, false, nil
+}
+
+// Lease-gate tuning: a run lease is renewed at a third of its TTL while the
+// leader simulates, so followers only break it when the leader actually
+// died. The failsafe bounds how long a follower trusts a lease it can
+// neither take nor observe results from (a broken shared store) before
+// simulating redundantly — fail open, never deadlock.
+var (
+	runLeaseTTL       = 30 * time.Second
+	leasePollInterval = 20 * time.Millisecond
+	leaseFailsafe     = 3 * runLeaseTTL
+)
+
+// leaseOwner returns a random identity for one lease claim.
+func leaseOwner() string {
+	var b [8]byte
+	crand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// leaseGate is the cross-node singleflight. It returns either
+// joined=true with another node's result loaded from the shared store, or
+// joined=false with the lease held — the caller simulates, publishes, and
+// must call release. The lease is renewed in the background until release.
+// A context end while waiting surfaces as an error wrapping
+// wsperr.ErrCanceled, like every other wait in Run.
+func (s *runnerState) leaseGate(ctx context.Context, ls Leaser, key, hash string) (*machine.Stats, RunManifest, bool, func(), error) {
+	name := "run-" + hash
+	owner := leaseOwner()
+	deadline := time.Now().Add(leaseFailsafe)
+	for !ls.Claim(name, owner, runLeaseTTL) {
+		// Follower: the leader holds the lease. Poll for its published
+		// result; Claim above breaks expired leases, so a dead leader
+		// promotes the first poller to leadership.
+		select {
+		case <-ctx.Done():
+			return nil, RunManifest{}, false, nil, fmt.Errorf("experiments: waiting on fleet leader for %s: %w: %v",
+				hash[:12], wsperr.ErrCanceled, ctx.Err())
+		case <-time.After(leasePollInterval):
+		}
+		if st, man, ok := s.disk.load(key, hash); ok {
+			return st, man, true, nil, nil
+		}
+		if time.Now().After(deadline) {
+			// The arbiter is unreachable or wedged: simulate without the
+			// lease rather than wait forever. Duplicate work, never a stall.
+			return nil, RunManifest{}, false, func() {}, nil
+		}
+	}
+	// Won the claim. Re-check the store first: a leader that finished and
+	// released between our load miss and this claim already published the
+	// result, and re-simulating it would defeat the whole gate.
+	if st, man, ok := s.disk.load(key, hash); ok {
+		ls.Release(name, owner)
+		return st, man, true, nil, nil
+	}
+	// Leader: hold the lease for the duration of the simulation.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(runLeaseTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if !ls.Renew(name, owner, runLeaseTTL) {
+					return // lease lost; worst case a follower duplicates the work
+				}
+			}
+		}
+	}()
+	release := func() {
+		close(stop)
+		ls.Release(name, owner)
+	}
+	return nil, RunManifest{}, false, release, nil
 }
 
 // timelinePath returns where a fresh run's Chrome trace goes, or "".

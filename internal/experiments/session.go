@@ -220,6 +220,10 @@ type SessionStore struct {
 	dir   string
 	fs    hostfs.FS
 	blobs *BlobCache
+	// snaps is the store snapshot blobs go through: the local blob cache
+	// alone, or (SetL2) a TieredStore that also publishes snapshots to a
+	// fleet-shared backend so a session can resume on another node.
+	snaps Store
 
 	// OnSnapshot, when non-nil, observes every durable snapshot write with
 	// its wall-clock cost (telemetry). Set before serving.
@@ -255,14 +259,29 @@ func OpenSessionStoreFS(dir string, fsys hostfs.FS) (*SessionStore, error) {
 	if err := fsys.MkdirAll(filepath.Join(dir, "blobs"), 0o755); err != nil {
 		return nil, err
 	}
-	return &SessionStore{
+	st := &SessionStore{
 		dir:      dir,
 		fs:       fsys,
 		blobs:    NewBlobCacheFS(filepath.Join(dir, "blobs"), fsys),
 		counters: DefaultStorageCounters,
 		sleep:    time.Sleep,
 		open:     map[string]*Session{},
-	}, nil
+	}
+	st.snaps = st.blobs
+	return st, nil
+}
+
+// SetL2 tiers the snapshot blob store over a shared backend: snapshots
+// write through to l2 and reads fall back to it, so a session whose node
+// died can resume wherever its journal is reachable, pulling snapshot
+// images from the shared tier. Nil restores the local-only store. Call
+// before opening sessions.
+func (st *SessionStore) SetL2(l2 Store) {
+	if l2 == nil {
+		st.snaps = st.blobs
+		return
+	}
+	st.snaps = NewTieredStore(st.blobs, l2)
 }
 
 // Dir returns the store's root directory.
@@ -859,13 +878,13 @@ func (s *Session) execSnap(live bool) error {
 		return err
 	}
 	hash := keyHash(string(raw))
-	SnapshotCodec.Store(s.store.blobs, hash, snapshotKey(s.ID, s.record), payload)
+	SnapshotCodec.Store(s.store.snaps, hash, snapshotKey(s.ID, s.record), payload)
 	s.refs = append(s.refs, SnapshotRef{
 		Record: s.record, Segment: s.segment, BootSeq: s.lastBootSeq,
 		Total: s.totalBase, Outputs: s.outputsBase, Hash: hash,
 	})
 	for len(s.refs) > sessionRetain {
-		s.store.blobs.Remove(s.refs[0].Hash)
+		s.store.snaps.Remove(s.refs[0].Hash)
 		s.refs = append(s.refs[:0:0], s.refs[1:]...)
 	}
 	SessionCodec.Store(s.man, manifestName, s.ID, sessionManifest{
@@ -1067,7 +1086,7 @@ func (s *Session) restore(ctx context.Context, lastSeq uint64, records []journal
 			continue // journal lost its tail; snapshot is past its end
 		}
 		var payload snapshotPayload
-		if !SnapshotCodec.Load(s.store.blobs, ref.Hash, snapshotKey(s.ID, ref.Record), &payload) {
+		if !SnapshotCodec.Load(s.store.snaps, ref.Hash, snapshotKey(s.ID, ref.Record), &payload) {
 			continue // missing/truncated/stale blob: fall back older
 		}
 		img, err := mem.ImportImage(payload.PM)

@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// ForwardedHeader marks a request that already crossed one node hop. A
+// node receiving it always serves locally — the loop guard that keeps a
+// stale ring view (two nodes each believing the other owns a key) from
+// bouncing a request forever. One hop is enough: the forwarder computed
+// ownership over the same deterministic ring, so a second disagreement
+// means the membership views differ and serving locally is still correct
+// (the shared L2 store makes any node able to serve any key).
+const ForwardedHeader = "X-LightWSP-Forwarded"
+
+// ServedByHeader names the node that actually served a response — the
+// observable half of the forwarding contract, used by tests, the lb's
+// logs, and operators staring at curl -i.
+const ServedByHeader = "X-LightWSP-Served-By"
+
+// hopHeaders are dropped when proxying (RFC 9110 connection-scoped).
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// Proxy forwards r to the node at targetBase (scheme://host[:port]),
+// streaming the response — NDJSON event streams flush line by line. It
+// reports whether anything was written to w: when it returns
+// (written=false, err!=nil) the target was unreachable before a single
+// byte went out, and the caller may safely fall back to handling the
+// request itself.
+//
+// The caller is responsible for setting ForwardedHeader on r (or its body
+// replacement) before calling; Proxy itself only moves bytes.
+func Proxy(w http.ResponseWriter, r *http.Request, targetBase string, hc *http.Client) (written bool, err error) {
+	target, err := url.Parse(strings.TrimRight(targetBase, "/"))
+	if err != nil {
+		return false, err
+	}
+	outURL := *r.URL
+	outURL.Scheme = target.Scheme
+	outURL.Host = target.Host
+
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, outURL.String(), r.Body)
+	if err != nil {
+		return false, err
+	}
+	out.Header = r.Header.Clone()
+	for _, h := range hopHeaders {
+		out.Header.Del(h)
+	}
+	out.ContentLength = r.ContentLength
+
+	resp, err := hc.Do(out)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+
+	dst := w.Header()
+	for k, vv := range resp.Header {
+		for _, v := range vv {
+			dst.Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return true, nil
+}
+
+// flushCopy streams src to w, flushing after every read so long-lived
+// NDJSON streams cross the proxy without buffering a run's worth of
+// events.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

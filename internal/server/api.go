@@ -23,6 +23,15 @@
 //	DELETE /v1/session/{id}  remove a session and its snapshots
 //	POST /v1/session/{id}/advance  run forward, streaming NDJSON events
 //	POST /v1/session/{id}/resume   replay events after a last-seen seq
+//	GET/PUT/DELETE /v1/blob/{hash} peer store API: sealed blob transfer
+//	POST/DELETE /v1/lease/{name}   peer lease arbiter (fleet singleflight)
+//
+// Fleets (Config.FleetSelf/FleetPeers/L2): several nodes share one
+// rendezvous-hash ring over run keys and session IDs. A request that lands
+// on the wrong member is forwarded to its owner (one hop, loop-guarded by
+// X-LightWSP-Forwarded; X-LightWSP-Served-By names the node that answered),
+// every node's cache reads through the shared L2 store, and a fleet-wide
+// lease makes concurrent requests for one run key simulate exactly once.
 //
 // Durable sessions (enabled by Config.SessionDir) are long-lived runs that
 // survive power loss and server restarts: every advance is journaled before
@@ -173,11 +182,13 @@ type ExperimentInfo struct {
 // StatsResponse is the /stats snapshot: the shared runner's cache counters
 // plus the admission gate's request accounting.
 type StatsResponse struct {
-	// FreshRuns/DiskCacheHits/MemCacheHits are the process-wide runner
-	// counters (see experiments.Counters).
+	// FreshRuns/DiskCacheHits/MemCacheHits/LeaseJoins are the process-wide
+	// runner counters (see experiments.Counters); LeaseJoins counts runs
+	// joined from a fleet peer's result under the singleflight lease.
 	FreshRuns     int `json:"fresh_runs"`
 	DiskCacheHits int `json:"disk_cache_hits"`
 	MemCacheHits  int `json:"mem_cache_hits"`
+	LeaseJoins    int `json:"lease_joins"`
 	// Workers and QueueDepth describe the admission gate: at most
 	// Workers+QueueDepth requests are in flight at once.
 	Workers    int `json:"workers"`

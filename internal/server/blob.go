@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lightwsp/internal/experiments"
+)
+
+// This file is the peer store API: the HTTP face of the node's local blob
+// cache (GET/PUT/DELETE /v1/blob/{hash}) and its lease arbiter (POST/DELETE
+// /v1/lease/{name}). It is what experiments.RemoteStore speaks — a fleet
+// without a shared filesystem points every node's L2 at one member, and
+// that member's disk becomes the shared tier. Transfers are the sealed
+// on-disk bytes: the server never re-marshals, so the CRC-32C seal written
+// by the origin node is exactly what the fetching node verifies.
+
+// maxPeerBlobBytes bounds one uploaded blob (mirrors the RemoteStore
+// client's own transfer bound).
+const maxPeerBlobBytes = 256 << 20
+
+// peerStore resolves the local blob cache the peer API serves, or writes
+// the 503 — a node without a cache directory has no disk to share.
+func (s *Server) peerStore(w http.ResponseWriter) (*experiments.BlobCache, bool) {
+	if s.localBlobs == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "no cache directory; this node cannot serve the peer store API"})
+		return nil, false
+	}
+	return s.localBlobs, true
+}
+
+// handleBlobGet (GET /v1/blob/{hash}) serves one entry's sealed bytes.
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	bc, ok := s.peerStore(w)
+	if !ok {
+		return
+	}
+	hash := r.PathValue("hash")
+	sealed, ok := bc.ReadRaw(hash)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("no blob %s", hash)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(sealed)
+}
+
+// handleBlobPut (PUT /v1/blob/{hash}) stores pre-sealed bytes. The seal is
+// verified before anything touches disk; bytes damaged in transit (or a
+// lying peer) are 422, never a cache entry.
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	bc, ok := s.peerStore(w)
+	if !ok {
+		return
+	}
+	sealed, err := io.ReadAll(io.LimitReader(r.Body, maxPeerBlobBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := bc.WriteRaw(r.PathValue("hash"), sealed); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleBlobDelete (DELETE /v1/blob/{hash}) evicts one entry, best-effort.
+func (s *Server) handleBlobDelete(w http.ResponseWriter, r *http.Request) {
+	bc, ok := s.peerStore(w)
+	if !ok {
+		return
+	}
+	bc.Remove(r.PathValue("hash"))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// leaseWire is the wire form of a Claim/Renew call — the mirror of
+// experiments.RemoteStore's client side.
+type leaseWire struct {
+	Owner string `json:"owner"`
+	TTLMS int64  `json:"ttl_ms"`
+	Renew bool   `json:"renew,omitempty"`
+}
+
+// handleLease (POST /v1/lease/{name}) arbitrates one lease: 200 when the
+// caller holds it after the call, 409 when another owner does. The arbiter
+// is this node's own lease files, so a fleet that points every L2 at one
+// member gets cross-node singleflight from that member's disk.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	bc, ok := s.peerStore(w)
+	if !ok {
+		return
+	}
+	var req leaseWire
+	if err := decode(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if req.Owner == "" || req.TTLMS <= 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "lease call needs owner and a positive ttl_ms"})
+		return
+	}
+	name := r.PathValue("name")
+	ttl := time.Duration(req.TTLMS) * time.Millisecond
+	held := false
+	if req.Renew {
+		held = bc.Renew(name, req.Owner, ttl)
+	} else {
+		held = bc.Claim(name, req.Owner, ttl)
+	}
+	if !held {
+		writeJSON(w, http.StatusConflict,
+			errorResponse{Error: fmt.Sprintf("lease %s held by another owner", name)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleLeaseRelease (DELETE /v1/lease/{name}?owner=) drops a lease if the
+// named owner still holds it.
+func (s *Server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	bc, ok := s.peerStore(w)
+	if !ok {
+		return
+	}
+	owner := r.URL.Query().Get("owner")
+	if owner == "" {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "lease release needs ?owner="})
+		return
+	}
+	bc.Release(r.PathValue("name"), owner)
+	w.WriteHeader(http.StatusNoContent)
+}

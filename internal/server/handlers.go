@@ -10,6 +10,7 @@ import (
 	"lightwsp/internal/core"
 	"lightwsp/internal/crashfuzz"
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/fleet"
 	"lightwsp/internal/machine"
 	"lightwsp/internal/recovery"
 	"lightwsp/internal/workload"
@@ -40,16 +41,32 @@ func (s *Server) routes() {
 	handle("DELETE /v1/session/{id}", "/v1/session/delete", false, s.handleSessionDelete)
 	handle("POST /v1/session/{id}/advance", "/v1/session/advance", false, s.handleSessionAdvance)
 	handle("POST /v1/session/{id}/resume", "/v1/session/resume", false, s.handleSessionResume)
+	// Peer store API (fleet traffic; readOnly keeps the 20ms lease polls
+	// out of the info-level access log).
+	handle("GET /v1/blob/{hash}", "/v1/blob", true, s.handleBlobGet)
+	handle("PUT /v1/blob/{hash}", "/v1/blob", true, s.handleBlobPut)
+	handle("DELETE /v1/blob/{hash}", "/v1/blob", true, s.handleBlobDelete)
+	handle("POST /v1/lease/{name}", "/v1/lease", true, s.handleLease)
+	handle("DELETE /v1/lease/{name}", "/v1/lease", true, s.handleLeaseRelease)
 }
 
 // handleHealthz is the liveness probe: 200 while serving, 503 once the
-// drain began (load balancers stop routing here before shutdown).
+// drain began (load balancers stop routing here before shutdown) — and 503
+// while the session store cannot make journal appends durable. The degraded
+// case used to answer 200, which kept load balancers routing session work
+// to a node that would refuse every advance; reporting it here lets the lb
+// eject the node until the disk recovers (the store's active probe clears
+// the flag on its own).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
 	draining := s.draining
 	s.drainMu.RUnlock()
 	if draining {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if s.sessions != nil && s.sessions.Degraded() && !s.sessions.RecheckDurability() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "degraded"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -71,6 +88,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		FreshRuns:        c.Fresh,
 		DiskCacheHits:    c.DiskHits,
 		MemCacheHits:     c.MemHits,
+		LeaseJoins:       c.LeaseJoins,
 		Workers:          s.cfg.Workers,
 		QueueDepth:       s.cfg.QueueDepth,
 		InFlight:         inFlight,
@@ -131,9 +149,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	body, err := bufferBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	var req RunRequest
 	if err := decode(r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.forwardOwned(w, r, fleet.RunRouteKey(req.Suite, req.App, req.Scheme), body) {
 		return
 	}
 	p, ok := lookupProfile(w, req.Suite, req.App)
@@ -241,9 +267,19 @@ func (s *Server) handleRunWithFailure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	body, err := bufferBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	var req FailureRequest
 	if err := decode(r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	// Failure requests carry no scheme field; the route key's empty scheme
+	// matches what the lb derives from the same body.
+	if s.forwardOwned(w, r, fleet.RunRouteKey(req.Suite, req.App, ""), body) {
 		return
 	}
 	p, ok := lookupProfile(w, req.Suite, req.App)
@@ -302,9 +338,17 @@ func (s *Server) handleCrashfuzz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	body, err := bufferBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
 	var req CrashfuzzRequest
 	if err := decode(r, &req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.forwardOwned(w, r, fleet.RunRouteKey(req.Suite, req.App, ""), body) {
 		return
 	}
 	p, ok := lookupProfile(w, req.Suite, req.App)

@@ -9,6 +9,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"lightwsp/internal/fleet"
 	"lightwsp/internal/obs"
 	"lightwsp/internal/wsperr"
 )
@@ -99,6 +100,10 @@ func (s *Server) instrument(endpoint string, readOnly bool, h http.HandlerFunc) 
 		ctx = context.WithValue(ctx, reqInfoKey{}, ri)
 		r = r.WithContext(ctx)
 		w.Header().Set(obs.TraceHeader, id)
+		if s.self != "" {
+			// Provisional: a forward replaces it with the peer's stamp.
+			w.Header().Set(fleet.ServedByHeader, s.self)
+		}
 		sw := &statusWriter{ResponseWriter: w}
 
 		defer func() {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/fleet"
 	"lightwsp/internal/hostfs"
 	"lightwsp/internal/obs"
 	"lightwsp/internal/wsperr"
@@ -68,6 +69,21 @@ type Config struct {
 	// session store — tests and fault campaigns inject hostfs.NewMem/Inject
 	// stacks here. Nil uses the real disk.
 	SessionFS hostfs.FS
+	// FleetSelf is this node's base URL exactly as peers and the load
+	// balancer reach it (e.g. "http://10.0.0.3:8080"). Empty means the
+	// node serves solo; set it together with FleetPeers to join a fleet.
+	FleetSelf string
+	// FleetPeers is the full fleet membership, FleetSelf included. Every
+	// node is configured with the same list; a request whose routing key
+	// hashes to another member is forwarded there (one hop, loop-guarded
+	// by the X-LightWSP-Forwarded header).
+	FleetPeers []string
+	// L2 is the shared second storage tier behind the local disk cache:
+	// results and session snapshots written locally also publish here,
+	// and local misses read through it — the mechanism that makes a
+	// fleet's caches coherent. Typically experiments.NewBlobCache over a
+	// shared directory or experiments.NewRemoteStore over a peer node.
+	L2 experiments.Store
 }
 
 // Server is the HTTP serving layer over one process-wide Runner: every
@@ -80,8 +96,26 @@ type Server struct {
 	cfg    Config
 	runner *experiments.Runner
 	pool   *experiments.Pool
-	blobs  *experiments.BlobCache
 	mux    *http.ServeMux
+
+	// Storage tiers: localBlobs is the node's own disk cache (nil without
+	// a cache directory) — also what the /v1/blob peer API serves; tiered
+	// composes it with Config.L2 (nil when no L2 is configured); blobs is
+	// whichever of the two fuzzing verdicts should go through.
+	localBlobs *experiments.BlobCache
+	tiered     *experiments.TieredStore
+	blobs      experiments.Store
+
+	// Fleet: the rendezvous ring over FleetPeers (nil when solo), this
+	// node's own identity on it, and the client forwards ride. The client
+	// has no timeout — forwards carry NDJSON streams that legitimately
+	// run for minutes; the request context still bounds every forward.
+	ring             *fleet.Ring
+	self             string
+	fleetHC          *http.Client
+	forwardsIn       atomic.Int64
+	forwardsOut      atomic.Int64
+	forwardFallbacks atomic.Int64
 
 	// sem is the admission gate: Workers+QueueDepth slots. Admission is
 	// non-blocking — a full gate is 429, not a wait — so saturation is
@@ -164,11 +198,15 @@ func New(cfg Config) *Server {
 	if cfg.TimelineDir != "" {
 		s.runner.SetTimelineDir(cfg.TimelineDir)
 	}
+	s.initStores()
 	s.runner.SetStorageObserver(s.log, s.storage)
 	s.pool = s.runner.Pool()
-	if cfg.CacheDir != "" {
-		s.blobs = experiments.NewBlobCache(cfg.CacheDir)
-		s.blobs.SetObserver(s.log, s.storage)
+	if cfg.FleetSelf != "" && len(cfg.FleetPeers) > 0 {
+		s.self = cfg.FleetSelf
+		s.ring = fleet.NewRing(cfg.FleetPeers)
+		s.fleetHC = &http.Client{}
+		s.log.Info("fleet member starting",
+			"self", s.self, "ring_size", s.ring.Len(), "peers", s.ring.Nodes())
 	}
 	if cfg.SessionDir != "" {
 		s.initSessions()
@@ -180,6 +218,36 @@ func New(cfg Config) *Server {
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// initStores builds the storage tiers: the local disk cache (L1), the
+// optional shared L2 behind it, and the runner's view of the pair. With an
+// L2 configured the runner resolves through the tiered store — its writes
+// publish to both tiers and its misses read through the fleet's shared
+// cache — which is what makes every node's result cache one coherent whole.
+func (s *Server) initStores() {
+	if s.cfg.CacheDir != "" {
+		s.localBlobs = experiments.NewBlobCache(s.cfg.CacheDir)
+		s.localBlobs.SetObserver(s.log, s.storage)
+		s.blobs = s.localBlobs
+	}
+	if s.cfg.L2 == nil {
+		return
+	}
+	if o, ok := s.cfg.L2.(interface {
+		SetObserver(*slog.Logger, *experiments.StorageCounters)
+	}); ok {
+		o.SetObserver(s.log, s.storage)
+	}
+	if s.localBlobs != nil {
+		s.tiered = experiments.NewTieredStore(s.localBlobs, s.cfg.L2)
+		s.blobs = s.tiered
+		s.runner.SetStore(s.tiered)
+		return
+	}
+	// No local cache directory: the shared tier serves alone.
+	s.blobs = s.cfg.L2
+	s.runner.SetStore(s.cfg.L2)
+}
 
 // Drain gracefully retires the server: new requests are refused with 503,
 // admitted ones run to completion (or until ctx ends), and the runner's

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lightwsp/internal/experiments"
+	"lightwsp/internal/fleet"
 	"lightwsp/internal/hostfs"
 	"lightwsp/internal/obs"
 )
@@ -38,6 +39,12 @@ func (s *Server) initSessions() {
 		return
 	}
 	st.SetObserver(s.log, s.storage)
+	if s.cfg.L2 != nil {
+		// Session snapshots publish to the shared tier too, so a session
+		// that rehashes to another node after a member dies can restore
+		// from its newest snapshot there.
+		st.SetL2(s.cfg.L2)
+	}
 	st.OnSnapshot = func(id string, wall time.Duration) {
 		s.tel.sessionSnaps.Add(1)
 		us := wall.Microseconds()
@@ -70,6 +77,17 @@ func (s *Server) restoreSessions() {
 		return
 	}
 	for _, id := range ids {
+		// In a fleet only the ring owner restores a session at boot —
+		// eagerly opening a peer's sessions would fight it for the journal.
+		// A session that rehashes here later (its owner died) is opened
+		// lazily by lookupSession on first touch.
+		if s.ring != nil && s.self != "" {
+			if owner := s.ring.Owner(fleet.SessionRouteKey(id)); owner != s.self {
+				s.log.Debug("session owned by a peer; skipping boot restore",
+					"session", id, "owner", owner)
+				continue
+			}
+		}
 		start := time.Now()
 		sess, err := s.sessions.Open(context.Background(), id)
 		if err != nil {
@@ -200,9 +218,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	if s.sessions == nil {
-		writeJSON(w, http.StatusServiceUnavailable,
-			errorResponse{Error: "sessions disabled; start the server with a session directory"})
+	body, err := bufferBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	var req SessionCreateRequest
@@ -230,6 +248,23 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if !experiments.ValidSessionID(id) {
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: fmt.Sprintf("invalid session id %q", id)})
+		return
+	}
+	// A create with no client-chosen ID is unkeyed at the lb, so it may
+	// land anywhere; the minted ID decides the owner. Forward the request
+	// with the ID filled in so the owner creates exactly this session.
+	if id != req.ID {
+		req.ID = id
+		if nb, merr := json.Marshal(req); merr == nil {
+			body = nb
+		}
+	}
+	if s.forwardOwned(w, r, fleet.SessionRouteKey(id), body) {
+		return
+	}
+	if s.sessions == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "sessions disabled; start the server with a session directory"})
 		return
 	}
 	ri := reqInfoFrom(r.Context())
@@ -276,6 +311,9 @@ func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionGet (GET /v1/session/{id}) reports one session's status.
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	if s.forwardOwned(w, r, fleet.SessionRouteKey(r.PathValue("id")), nil) {
+		return
+	}
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
 		return
@@ -294,12 +332,15 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	id := r.PathValue("id")
+	if s.forwardOwned(w, r, fleet.SessionRouteKey(id), nil) {
+		return
+	}
 	if s.sessions == nil {
 		writeJSON(w, http.StatusServiceUnavailable,
 			errorResponse{Error: "sessions disabled; start the server with a session directory"})
 		return
 	}
-	id := r.PathValue("id")
 	if ri := reqInfoFrom(r.Context()); ri != nil {
 		ri.session = id
 	}
@@ -323,6 +364,14 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	body, err := bufferBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.forwardOwned(w, r, fleet.SessionRouteKey(r.PathValue("id")), body) {
+		return
+	}
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
 		return
@@ -373,7 +422,7 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
-	var err error
+	err = nil
 	queued := time.Now()
 	perr := s.pool.DoCtx(ctx, func() {
 		ri.queueWait = time.Since(queued)
@@ -412,6 +461,14 @@ func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	body, err := bufferBody(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if s.forwardOwned(w, r, fleet.SessionRouteKey(r.PathValue("id")), body) {
+		return
+	}
 	sess, ok := s.lookupSession(w, r)
 	if !ok {
 		return
@@ -452,7 +509,7 @@ func (s *Server) handleSessionResume(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
-	var err error
+	err = nil
 	queued := time.Now()
 	perr := s.pool.DoCtx(ctx, func() {
 		ri.queueWait = time.Since(queued)

@@ -174,13 +174,38 @@ func (s *Server) WriteProm(w io.Writer) error {
 	counter("lightwsp_storage_journal_truncations_total", "Torn or corrupt journal tails severed on reopen.", float64(sc.JournalTruncations))
 	counter("lightwsp_storage_durability_lost_total", "Journal appends that failed past the retry budget.", float64(sc.DurabilityLost))
 
-	// Run resolution provenance.
+	// Fleet plane: ring membership, forwarding traffic and the tiered
+	// store's hit ladder. Families are exposed even when solo (all zero)
+	// so fleet dashboards can be written before the fleet exists.
+	ringSize := 0
+	if s.ring != nil {
+		ringSize = s.ring.Len()
+	}
+	gauge("lightwsp_fleet_ring_size", "Fleet members this node routes across (0 when solo).", float64(ringSize))
+	p.Family("lightwsp_fleet_forwards_total", "counter", "Requests forwarded between fleet nodes, by direction.")
+	p.Sample("lightwsp_fleet_forwards_total", []metrics.Label{{Name: "direction", Value: "in"}}, float64(s.forwardsIn.Load()))
+	p.Sample("lightwsp_fleet_forwards_total", []metrics.Label{{Name: "direction", Value: "out"}}, float64(s.forwardsOut.Load()))
+	counter("lightwsp_fleet_forward_fallbacks_total", "Forwards served locally because every better-ranked peer was unreachable.", float64(s.forwardFallbacks.Load()))
+	var l1Hits, l2Hits, tierMisses, writebacks uint64
+	if s.tiered != nil {
+		tc := s.tiered.Counters()
+		l1Hits, l2Hits = tc.L1Hits.Load(), tc.L2Hits.Load()
+		tierMisses, writebacks = tc.Misses.Load(), tc.Writebacks.Load()
+	}
+	p.Family("lightwsp_store_reads_total", "counter", "Tiered-store reads, by outcome (l1_hit, l2_hit, miss).")
+	p.Sample("lightwsp_store_reads_total", []metrics.Label{{Name: "outcome", Value: "l1_hit"}}, float64(l1Hits))
+	p.Sample("lightwsp_store_reads_total", []metrics.Label{{Name: "outcome", Value: "l2_hit"}}, float64(l2Hits))
+	p.Sample("lightwsp_store_reads_total", []metrics.Label{{Name: "outcome", Value: "miss"}}, float64(tierMisses))
+	counter("lightwsp_store_writebacks_total", "L2 hits promoted into the local tier.", float64(writebacks))
+
+	// Run resolution provenance. "fleet" is a run joined from a peer's
+	// published result under the cross-node singleflight lease.
 	c := s.runner.Counters()
 	p.Family("lightwsp_runs_total", "counter", "Simulation runs resolved, by source.")
 	for _, src := range []struct {
 		name string
 		v    int
-	}{{"fresh", c.Fresh}, {"disk_cache", c.DiskHits}, {"mem_cache", c.MemHits}} {
+	}{{"fresh", c.Fresh}, {"disk_cache", c.DiskHits}, {"mem_cache", c.MemHits}, {"fleet", c.LeaseJoins}} {
 		p.Sample("lightwsp_runs_total", []metrics.Label{{Name: "source", Value: src.name}}, float64(src.v))
 	}
 

@@ -266,6 +266,36 @@ func Workloads() []WorkloadProfile { return workload.Profiles() }
 // BuildWorkload synthesizes a profile's program deterministically.
 func BuildWorkload(p WorkloadProfile) (*Program, error) { return workload.Build(p) }
 
+// Store is the content-addressed blob-store seam the run cache, durable
+// sessions and the serving fleet all plug into: ReadJSON/WriteJSON move
+// CRC-sealed documents by name, Remove deletes them. Implementations are
+// composable — a disk store is one node's L1, another node (or a shared
+// directory) is the fleet's L2, and a tiered store stacks the two with
+// read-through and write-back. Every fetch re-verifies the seal, so a
+// corrupt or truncated entry reads as a miss, never as wrong data.
+type Store = experiments.Store
+
+// BlobCache is the concrete disk-backed Store implementation.
+//
+// Deprecated: hold the Store interface and construct with NewDiskStore;
+// the concrete type remains for callers that need its extended surface
+// (scrubbing, lease arbitration, raw sealed I/O).
+type BlobCache = experiments.BlobCache
+
+// NewDiskStore opens the disk-backed Store rooted at dir: one CRC-sealed,
+// content-addressed file per entry, corrupt entries quarantined on read.
+func NewDiskStore(dir string) *BlobCache { return experiments.NewBlobCache(dir) }
+
+// NewTieredStore stacks two stores: reads try l1 then fall through to l2
+// (promoting hits into l1), writes go to both. This is the fleet cache
+// shape — local disk in front, a shared backend behind.
+func NewTieredStore(l1, l2 Store) Store { return experiments.NewTieredStore(l1, l2) }
+
+// NewRemoteStore returns a Store backed by another lightwsp-serve node's
+// blob API at baseURL. Entries travel sealed and are re-verified locally
+// on every fetch; a failed or corrupt transfer reads as a miss.
+func NewRemoteStore(baseURL string) Store { return experiments.NewRemoteStore(baseURL) }
+
 // Durable sessions: long-lived runs that survive power loss and process
 // restarts. A SessionStore owns a directory of sessions; each session
 // journals every advance before executing it and periodically snapshots the
@@ -300,9 +330,36 @@ var (
 	ErrSessionClosed = experiments.ErrSessionClosed
 )
 
+// SessionOption configures OpenSessionStore.
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	l2 Store
+}
+
+// WithStore attaches a shared second-tier Store to the session store:
+// snapshots still land on the local directory first, then publish to st,
+// and a session restoring here can fetch snapshot blobs a fleet peer
+// produced — what lets a session resume on a different node than the one
+// that advanced it.
+func WithStore(st Store) SessionOption {
+	return func(o *sessionOptions) { o.l2 = st }
+}
+
 // OpenSessionStore opens (creating if needed) the durable-session store
 // rooted at dir. Reopening a store after a crash or restart restores every
 // session it contains from its newest durable snapshot plus journal replay.
-func OpenSessionStore(dir string) (*SessionStore, error) {
-	return experiments.OpenSessionStore(dir)
+func OpenSessionStore(dir string, opts ...SessionOption) (*SessionStore, error) {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	st, err := experiments.OpenSessionStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	if o.l2 != nil {
+		st.SetL2(o.l2)
+	}
+	return st, nil
 }

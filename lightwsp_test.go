@@ -3,6 +3,7 @@ package lightwsp_test
 import (
 	"context"
 	"errors"
+	"os"
 	"testing"
 
 	"lightwsp"
@@ -172,5 +173,76 @@ func TestFacadeDurableSession(t *testing.T) {
 		if replay[i] != live[i] {
 			t.Fatalf("event %d diverged:\n%+v\n%+v", i, replay[i], live[i])
 		}
+	}
+}
+
+// TestFacadeStoreSeam exercises the public Store surface: a disk store
+// round-trips documents, a tiered store reads through its second tier and
+// writes back to both, and OpenSessionStore(WithStore) publishes a
+// session's snapshots to the shared tier — the seam a fleet of serving
+// nodes shares one warm cache through.
+func TestFacadeStoreSeam(t *testing.T) {
+	type doc struct {
+		N int `json:"n"`
+	}
+
+	l1 := lightwsp.NewDiskStore(t.TempDir())
+	shared := lightwsp.NewDiskStore(t.TempDir())
+	tiered := lightwsp.NewTieredStore(l1, shared)
+
+	shared.WriteJSON("only-in-l2", doc{N: 7})
+	var got doc
+	if !tiered.ReadJSON("only-in-l2", &got) || got.N != 7 {
+		t.Fatalf("tiered read-through: got %+v", got)
+	}
+	tiered.WriteJSON("written-through", doc{N: 9})
+	var fromShared doc
+	if !shared.ReadJSON("written-through", &fromShared) || fromShared.N != 9 {
+		t.Fatalf("write-back missing from shared tier: %+v", fromShared)
+	}
+
+	// A session store with a shared tier publishes every snapshot there:
+	// advance far enough to snapshot, then watch the shared directory fill.
+	ctx := context.Background()
+	spec := lightwsp.SessionSpec{Suite: "cpu2006", App: "fuzz-st", SnapshotEvery: 600}
+	l2dir := t.TempDir()
+	sessDir := t.TempDir()
+
+	st, err := lightwsp.OpenSessionStore(sessDir, lightwsp.WithStore(lightwsp.NewDiskStore(l2dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := st.Create("handoff", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Advance(ctx, 10_000, func(lightwsp.SessionEvent) error { return nil }, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Status().Snapshots == 0 {
+		t.Fatal("session never snapshotted; nothing to publish")
+	}
+	st.Close()
+	published, err := os.ReadDir(l2dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(published) == 0 {
+		t.Fatal("no snapshot blobs published to the shared tier")
+	}
+
+	// Reopening over the same directory with the same shared tier restores
+	// the session at its exact position.
+	st2, err := lightwsp.OpenSessionStore(sessDir, lightwsp.WithStore(lightwsp.NewDiskStore(l2dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sess2, err := st2.Open(ctx, "handoff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sess2.Status().Total, sess.Status().Total; got != want {
+		t.Fatalf("restored session at total %d, want %d", got, want)
 	}
 }
